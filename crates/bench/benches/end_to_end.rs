@@ -1,0 +1,44 @@
+//! End-to-end simulation throughput per scheme: how many simulated
+//! references per second the full stack sustains. This is the number
+//! that decides how long the figure regeneration takes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deact::{Scheme, System, SystemConfig};
+use fam_workloads::Workload;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_2k_refs_per_core");
+    group.sample_size(10);
+    let workload = Workload::by_name("mcf").unwrap();
+    for scheme in Scheme::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                let cfg = SystemConfig::paper_default()
+                    .with_scheme(scheme)
+                    .with_refs_per_core(2_000);
+                b.iter(|| System::new(cfg, &workload).run());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_workload_classes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_classes_deact_n");
+    group.sample_size(10);
+    for bench in ["mg", "bc", "sssp"] {
+        let workload = Workload::by_name(bench).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(bench), bench, |b, _| {
+            let cfg = SystemConfig::paper_default()
+                .with_scheme(Scheme::DeactN)
+                .with_refs_per_core(2_000);
+            b.iter(|| System::new(cfg, &workload).run());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(end_to_end, bench_schemes, bench_workload_classes);
+criterion_main!(end_to_end);

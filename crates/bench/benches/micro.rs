@@ -1,0 +1,147 @@
+//! Criterion micro-benchmarks on the hot data structures of the
+//! simulation: these bound how fast the full-system experiments run
+//! and double as regression guards on the substrate implementations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use deact::FamTranslator;
+use fam_broker::{AcmWidth, FamLayout};
+use fam_mem::{CacheConfig, CacheHierarchy, HierarchyConfig, Replacement, SetAssocCache};
+use fam_stu::{StuCache, StuConfig, StuOrganization};
+use fam_vm::{FamAddr, PageTable, PageWalker, PtFlags, PtwCache, TlbConfig, TlbHierarchy};
+use fam_workloads::Workload;
+
+fn bench_set_assoc_cache(c: &mut Criterion) {
+    let mut cache: SetAssocCache<u64> =
+        SetAssocCache::new(CacheConfig::new(128, 8, Replacement::Lru));
+    for k in 0..1024u64 {
+        cache.insert(k, k);
+    }
+    let mut key = 0u64;
+    c.bench_function("set_assoc_cache_get", |b| {
+        b.iter(|| {
+            key = (key + 7) % 2048;
+            black_box(cache.get(black_box(key)).copied())
+        })
+    });
+}
+
+fn bench_cache_hierarchy(c: &mut Criterion) {
+    let mut h = CacheHierarchy::new(4, HierarchyConfig::default());
+    let mut line = 0u64;
+    c.bench_function("cache_hierarchy_access", |b| {
+        b.iter(|| {
+            line = (line + 97) % 100_000;
+            black_box(h.access(0, black_box(line), false))
+        })
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut tlb = TlbHierarchy::new(TlbConfig::default());
+    for p in 0..256u64 {
+        tlb.fill(
+            p,
+            fam_vm::Pte {
+                target_page: p,
+                flags: PtFlags::rw(),
+            },
+        );
+    }
+    let mut p = 0u64;
+    c.bench_function("tlb_lookup", |b| {
+        b.iter(|| {
+            p = (p + 3) % 512;
+            black_box(tlb.lookup(black_box(p)))
+        })
+    });
+}
+
+fn bench_page_walk(c: &mut Criterion) {
+    let mut pt = PageTable::new(0);
+    let mut next = 0x100_0000u64;
+    let mut alloc = |_: usize| {
+        let a = next;
+        next += 4096;
+        a
+    };
+    for v in 0..10_000u64 {
+        pt.map(v * 13, v, PtFlags::rw(), &mut alloc);
+    }
+    let mut ptw = PtwCache::new(32);
+    let mut v = 0u64;
+    c.bench_function("page_walk_planned", |b| {
+        b.iter(|| {
+            v = (v + 1) % 10_000;
+            black_box(PageWalker::plan(&pt, Some(&mut ptw), black_box(v * 13)))
+        })
+    });
+}
+
+fn bench_stu_organisations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stu_acm_lookup");
+    for (label, org) in [
+        ("deact_w", StuOrganization::DeactW),
+        ("deact_n", StuOrganization::DeactN),
+    ] {
+        let mut stu = StuCache::new(StuConfig {
+            organization: org,
+            ..StuConfig::default()
+        });
+        for p in 0..2048u64 {
+            stu.acm_fill(p * 31);
+        }
+        let mut p = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                p = (p + 1) % 4096;
+                black_box(stu.acm_lookup(black_box(p * 31)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_translator(c: &mut Criterion) {
+    let mut t = FamTranslator::new(1 << 20, 0x3000_0000, 128, 5);
+    for p in 0..65_536u64 {
+        t.install(p, p + 9);
+    }
+    let mut p = 0u64;
+    c.bench_function("fam_translator_lookup", |b| {
+        b.iter(|| {
+            p = (p + 11) % 131_072;
+            black_box(t.lookup(black_box(p)))
+        })
+    });
+}
+
+fn bench_acm_address_arithmetic(c: &mut Criterion) {
+    let layout = FamLayout::new(16 << 30, AcmWidth::W16);
+    let mut addr = 0u64;
+    c.bench_function("acm_addr_derivation", |b| {
+        b.iter(|| {
+            addr = (addr + 4096) % layout.usable_bytes();
+            black_box(layout.acm_addr(FamAddr(black_box(addr))))
+        })
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut gen = Workload::by_name("sssp").unwrap().generator(3);
+    c.bench_function("trace_generator_next_ref", |b| {
+        b.iter(|| black_box(gen.next_ref()))
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_set_assoc_cache,
+    bench_cache_hierarchy,
+    bench_tlb,
+    bench_page_walk,
+    bench_stu_organisations,
+    bench_translator,
+    bench_acm_address_arithmetic,
+    bench_trace_generation,
+);
+criterion_main!(micro);

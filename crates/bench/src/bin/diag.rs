@@ -1,0 +1,32 @@
+//! Calibration probe: per-benchmark scheme comparison at a glance.
+//!
+//! Used when tuning the Table III generator profiles (hot/warm tiers,
+//! dependence fractions) against the paper's Fig. 3 slowdowns and
+//! Fig. 9/10 hit rates. Not part of the figure suite.
+
+use deact::{run_benchmark, Scheme, SystemConfig};
+
+fn main() {
+    let refs = fam_bench::refs_from_env(60_000);
+    let cfg = SystemConfig::paper_default()
+        .with_refs_per_core(refs)
+        .with_seed(7);
+    println!(
+        "{:7} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8}",
+        "bench", "slowdown", "thit(I)", "thit(D)", "acmN", "norm(I)", "norm(N)"
+    );
+    for name in fam_bench::benchmarks() {
+        let efam = run_benchmark(name, cfg.with_scheme(Scheme::EFam));
+        let ifam = run_benchmark(name, cfg.with_scheme(Scheme::IFam));
+        let n = run_benchmark(name, cfg.with_scheme(Scheme::DeactN));
+        println!(
+            "{name:7} {:>8.1}x {:>7.1}% {:>7.1}% {:>6.1}% {:>8.2} {:>8.2}",
+            efam.ipc / ifam.ipc,
+            ifam.translation_hit_rate.unwrap() * 100.0,
+            n.translation_hit_rate.unwrap() * 100.0,
+            n.acm_hit_rate.unwrap() * 100.0,
+            ifam.ipc / efam.ipc,
+            n.ipc / efam.ipc,
+        );
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10 output; see `fam_bench::figs`.
+fn main() {
+    fam_bench::figs::fig10();
+}

@@ -1,0 +1,220 @@
+//! The experiment harness: shared machinery for regenerating every
+//! table and figure of the DeACT paper.
+//!
+//! Each `fig*`/`table*` binary builds on this crate: it runs the
+//! benchmark × scheme matrix in parallel worker threads, prints the
+//! series the paper plots, and places the paper's reported values
+//! alongside (exact where the text gives numbers, digitized-from-the-
+//! figure approximations elsewhere — see [`paper`]).
+//!
+//! Run length is controlled by the `DEACT_REFS` environment variable
+//! (references per core; default 100 000 for headline figures, less
+//! for multi-point sweeps).
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use deact::{RunReport, Scheme, SystemConfig};
+use fam_workloads::{table3, Workload};
+
+pub mod figs;
+pub mod paper;
+
+/// The benchmark roster in the paper's figure order.
+pub fn benchmarks() -> Vec<&'static str> {
+    table3().iter().map(|w| w.name).collect()
+}
+
+/// References per core from `DEACT_REFS`, defaulting to `default`.
+pub fn refs_from_env(default: u64) -> u64 {
+    std::env::var("DEACT_REFS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A completed benchmark×scheme matrix.
+pub type Matrix = HashMap<(String, Scheme), RunReport>;
+
+/// Runs every `(benchmark, scheme)` pair of the matrix in parallel and
+/// collects the reports.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics or a benchmark name is unknown.
+pub fn run_matrix(benches: &[&str], schemes: &[Scheme], cfg: SystemConfig) -> Matrix {
+    let mut jobs: Vec<(String, Scheme)> = Vec::new();
+    for b in benches {
+        for s in schemes {
+            jobs.push((b.to_string(), *s));
+        }
+    }
+    let results: Vec<((String, Scheme), RunReport)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|(b, s)| {
+                let cfg = cfg.with_scheme(*s);
+                let b = b.clone();
+                let s = *s;
+                scope.spawn(move |_| {
+                    let w =
+                        Workload::by_name(&b).unwrap_or_else(|| panic!("unknown benchmark {b}"));
+                    let report = deact::System::new(cfg, &w).run();
+                    ((b, s), report)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("benchmark worker panicked"))
+            .collect()
+    })
+    .expect("worker scope");
+    results.into_iter().collect()
+}
+
+/// Prints a figure header.
+pub fn heading(fig: &str, caption: &str) {
+    println!("\n=== {fig} — {caption} ===");
+}
+
+/// Formats a row of `(label, values…)` with fixed-width columns.
+pub fn row(label: &str, values: &[String]) {
+    print!("{label:>10}");
+    for v in values {
+        print!(" {v:>9}");
+    }
+    println!();
+}
+
+/// Formats an `f64` cell.
+pub fn cell(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Geometric mean over the benchmarks of a suite (the grouping the
+/// sensitivity figures use: SPEC, PARSEC, GAP geomeans plus pf and dc
+/// individually, §V-D).
+pub fn suite_members(suite: &str) -> Vec<&'static str> {
+    match suite {
+        "SPEC" => vec!["mcf", "cactus", "astar"],
+        "PARSEC" => vec!["frqm", "canl"],
+        "GAP" => vec!["bc", "cc", "ccsv", "sssp"],
+        "pf" => vec!["pf"],
+        "dc" => vec!["dc"],
+        other => panic!("unknown suite grouping {other}"),
+    }
+}
+
+/// The sensitivity-figure groupings in plot order.
+pub const SUITE_GROUPS: [&str; 5] = ["SPEC", "PARSEC", "GAP", "pf", "dc"];
+
+/// Serialises a matrix to CSV (one row per benchmark × scheme) for
+/// external plotting.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_csv<W: std::io::Write>(mut w: W, matrix: &Matrix) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "benchmark,scheme,ipc,cycles,instructions,at_percent,translation_hit,acm_hit,\
+         tlb_hit,mpki,fam_data_reads,fam_data_writes,fam_writebacks,fam_at_reads,\
+         dram_reads,dram_writes,faults"
+    )?;
+    let mut keys: Vec<&(String, Scheme)> = matrix.keys().collect();
+    keys.sort_by(|a, b| (&a.0, a.1.name()).cmp(&(&b.0, b.1.name())));
+    for key in keys {
+        let r = &matrix[key];
+        writeln!(
+            w,
+            "{},{},{:.6},{},{},{:.4},{},{},{:.4},{:.2},{},{},{},{},{},{},{}",
+            r.workload,
+            r.scheme.name(),
+            r.ipc,
+            r.cycles,
+            r.instructions,
+            r.fam.at_percent(),
+            r.translation_hit_rate
+                .map_or(String::new(), |v| format!("{v:.4}")),
+            r.acm_hit_rate.map_or(String::new(), |v| format!("{v:.4}")),
+            r.tlb_hit_rate,
+            r.mpki,
+            r.fam.data_reads,
+            r.fam.data_writes,
+            r.fam.writebacks,
+            r.fam.at_total(),
+            r.dram_reads,
+            r.dram_writes,
+            r.faults,
+        )?;
+    }
+    Ok(())
+}
+
+/// Geomean of DeACT-N speedup over I-FAM for a suite grouping.
+pub fn suite_speedup(matrix: &Matrix, suite: &str, deact: Scheme) -> f64 {
+    let members = suite_members(suite);
+    let speedups: Vec<f64> = members
+        .iter()
+        .map(|b| {
+            let d = &matrix[&(b.to_string(), deact)];
+            let i = &matrix[&(b.to_string(), Scheme::IFam)];
+            d.speedup_over(i)
+        })
+        .collect();
+    fam_sim::stats::geomean(&speedups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_matches_table3() {
+        assert_eq!(benchmarks().len(), 14);
+        assert_eq!(benchmarks()[0], "mcf");
+    }
+
+    #[test]
+    fn suite_groups_cover_selected_benchmarks() {
+        let mut all: Vec<&str> = SUITE_GROUPS.iter().flat_map(|s| suite_members(s)).collect();
+        all.sort_unstable();
+        // Everything except the NPB streaming trio (shown separately
+        // in the paper's sensitivity figures).
+        assert_eq!(all.len(), 11);
+        assert!(all.contains(&"sssp"));
+        assert!(!all.contains(&"mg"));
+    }
+
+    #[test]
+    fn matrix_runs_in_parallel_and_is_complete() {
+        let cfg = SystemConfig::paper_default().with_refs_per_core(300);
+        let m = run_matrix(&["astar", "pf"], &[Scheme::EFam, Scheme::IFam], cfg);
+        assert_eq!(m.len(), 4);
+        assert!(m[&("pf".to_string(), Scheme::IFam)].ipc > 0.0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let cfg = SystemConfig::paper_default().with_refs_per_core(200);
+        let m = run_matrix(&["astar"], &[Scheme::EFam, Scheme::IFam], cfg);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &m).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("benchmark,scheme,ipc"));
+        assert!(lines[1].starts_with("astar,E-FAM,"));
+        assert!(lines[2].starts_with("astar,I-FAM,"));
+        // E-FAM row has empty hit-rate cells.
+        assert!(lines[1].contains(",,"));
+    }
+
+    #[test]
+    fn refs_env_fallback() {
+        std::env::remove_var("DEACT_REFS");
+        assert_eq!(refs_from_env(123), 123);
+    }
+}

@@ -1,0 +1,440 @@
+//! Access-control metadata: the bit-level entry encoding and the
+//! functional store the broker maintains in FAM.
+
+use std::collections::HashMap;
+
+use fam_vm::{NodeId, PtFlags};
+use serde::{Deserialize, Serialize};
+
+/// The kind of access being vetted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+    /// An instruction fetch.
+    Execute,
+}
+
+/// Width of a per-page ACM entry. The paper's default is 16 bits
+/// (14-bit node id + 2 permission bits, Fig. 5); §V-D2 sweeps 8 and 32
+/// bits, trading the number of supportable nodes against metadata
+/// density.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum AcmWidth {
+    /// 8-bit entries: 6-bit node id (8191 nodes in the paper's
+    /// accounting), ACM of 64 pages per 64-byte block.
+    W8,
+    /// 16-bit entries: 14-bit node id (16383 nodes), 32 pages/block.
+    #[default]
+    W16,
+    /// 32-bit entries: 30-bit node id, 16 pages/block.
+    W32,
+}
+
+impl AcmWidth {
+    /// Entry size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            AcmWidth::W8 => 1,
+            AcmWidth::W16 => 2,
+            AcmWidth::W32 => 4,
+        }
+    }
+
+    /// Entry size in bits.
+    pub fn bits(self) -> u32 {
+        self.bytes() as u32 * 8
+    }
+
+    /// Bits of the entry that hold the node id (the rest hold
+    /// permissions).
+    pub fn node_bits(self) -> u32 {
+        self.bits() - 2
+    }
+
+    /// The all-ones node-id pattern marking a shared page at this
+    /// width.
+    pub fn shared_marker(self) -> u32 {
+        (1 << self.node_bits()) - 1
+    }
+
+    /// Highest assignable node id (one below the shared marker).
+    pub fn max_nodes(self) -> u32 {
+        self.shared_marker() - 1
+    }
+}
+
+/// Two-bit permission encoding used in ACM entries. Three permissions
+/// must fit in two bits (Fig. 5), so the encoding enumerates the four
+/// useful combinations.
+fn perms_encode(flags: PtFlags) -> u32 {
+    match (flags.writable(), flags.executable()) {
+        (false, false) => 0b00, // R
+        (true, false) => 0b01,  // RW
+        (false, true) => 0b10,  // RX
+        (true, true) => 0b11,   // RWX
+    }
+}
+
+fn perms_decode(bits: u32) -> PtFlags {
+    match bits & 0b11 {
+        0b00 => PtFlags::ro(),
+        0b01 => PtFlags::rw(),
+        0b10 => PtFlags::rx(),
+        _ => PtFlags::rwx(),
+    }
+}
+
+/// One page's access-control metadata entry: `[node-id bits | 2
+/// permission bits]`.
+///
+/// # Examples
+///
+/// ```
+/// use fam_broker::{AcmEntry, AcmWidth};
+/// use fam_vm::{NodeId, PtFlags};
+///
+/// let e = AcmEntry::owned(AcmWidth::W16, NodeId::new(7), PtFlags::rw());
+/// assert_eq!(e.owner(), Some(NodeId::new(7)));
+/// assert!(!e.is_shared());
+/// assert!(e.flags().writable());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcmEntry {
+    raw: u32,
+    width: AcmWidth,
+}
+
+impl AcmEntry {
+    /// An entry owned by `node` with the given permissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id does not fit in the width's node field.
+    pub fn owned(width: AcmWidth, node: NodeId, flags: PtFlags) -> AcmEntry {
+        let id = node.raw() as u32;
+        assert!(
+            id < width.shared_marker(),
+            "node id {id} does not fit in {}-bit ACM",
+            width.bits()
+        );
+        AcmEntry {
+            raw: (id << 2) | perms_encode(flags),
+            width,
+        }
+    }
+
+    /// A shared-page entry (node field all ones) with the default
+    /// permissions granted to nodes not singled out in the bitmap.
+    pub fn shared(width: AcmWidth, flags: PtFlags) -> AcmEntry {
+        AcmEntry {
+            raw: (width.shared_marker() << 2) | perms_encode(flags),
+            width,
+        }
+    }
+
+    /// Parses a raw entry value at a given width, masking off any bits
+    /// beyond the entry.
+    pub fn from_raw(width: AcmWidth, raw: u32) -> AcmEntry {
+        let mask = if width.bits() == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width.bits()) - 1
+        };
+        AcmEntry {
+            raw: raw & mask,
+            width,
+        }
+    }
+
+    /// The raw bit pattern.
+    pub fn raw(self) -> u32 {
+        self.raw
+    }
+
+    /// The entry width.
+    pub fn width(self) -> AcmWidth {
+        self.width
+    }
+
+    /// Whether the node field holds the shared marker.
+    pub fn is_shared(self) -> bool {
+        (self.raw >> 2) == self.width.shared_marker()
+    }
+
+    /// The owning node, or `None` for shared pages.
+    pub fn owner(self) -> Option<NodeId> {
+        if self.is_shared() {
+            None
+        } else {
+            Some(NodeId::new((self.raw >> 2) as u16))
+        }
+    }
+
+    /// The permission bits.
+    pub fn flags(self) -> PtFlags {
+        perms_decode(self.raw)
+    }
+
+    /// Whether `kind` is allowed under these permissions.
+    pub fn permits(self, kind: AccessKind) -> bool {
+        let f = self.flags();
+        match kind {
+            AccessKind::Read => f.readable(),
+            AccessKind::Write => f.writable(),
+            AccessKind::Execute => f.executable(),
+        }
+    }
+}
+
+/// Per-node permissions packed into a 1 GB region's sharing bitmap.
+///
+/// Fig. 5 gives each 1 GB region a 64 K-bit bitmap. With up to 16 K
+/// nodes this affords 4 bits per node, which we spend as
+/// `[allowed, read, write, execute]` so subsets of nodes can hold
+/// *mixed* permissions on the same shared page (§III-A).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct RegionBitmap {
+    /// 4 bits per node, indexed by node id.
+    nibbles: HashMap<u16, u8>,
+}
+
+impl RegionBitmap {
+    fn grant(&mut self, node: NodeId, flags: PtFlags) {
+        let mut bits = 0b0001u8; // allowed
+        if flags.readable() {
+            bits |= 0b0010;
+        }
+        if flags.writable() {
+            bits |= 0b0100;
+        }
+        if flags.executable() {
+            bits |= 0b1000;
+        }
+        self.nibbles.insert(node.raw(), bits);
+    }
+
+    fn revoke(&mut self, node: NodeId) {
+        self.nibbles.remove(&node.raw());
+    }
+
+    fn permits(&self, node: NodeId, kind: AccessKind) -> bool {
+        let Some(&bits) = self.nibbles.get(&node.raw()) else {
+            return false;
+        };
+        if bits & 0b0001 == 0 {
+            return false;
+        }
+        match kind {
+            AccessKind::Read => bits & 0b0010 != 0,
+            AccessKind::Write => bits & 0b0100 != 0,
+            AccessKind::Execute => bits & 0b1000 != 0,
+        }
+    }
+}
+
+/// The functional ACM store: what the broker has written into the FAM
+/// metadata region. The STU consults this for ground truth; its own
+/// cache organisations only affect *timing*.
+///
+/// # Examples
+///
+/// ```
+/// use fam_broker::{AccessKind, AcmStore, AcmWidth};
+/// use fam_vm::{NodeId, PtFlags};
+///
+/// let mut store = AcmStore::new(AcmWidth::W16);
+/// store.set_owner(5, NodeId::new(1), PtFlags::rw());
+/// assert!(store.check(5, 0, NodeId::new(1), AccessKind::Write));
+/// assert!(!store.check(5, 0, NodeId::new(2), AccessKind::Read));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcmStore {
+    width: AcmWidth,
+    entries: HashMap<u64, AcmEntry>,
+    bitmaps: HashMap<u64, RegionBitmap>,
+}
+
+impl AcmStore {
+    /// Creates an empty store at the given entry width.
+    pub fn new(width: AcmWidth) -> AcmStore {
+        AcmStore {
+            width,
+            entries: HashMap::new(),
+            bitmaps: HashMap::new(),
+        }
+    }
+
+    /// The entry width.
+    pub fn width(&self) -> AcmWidth {
+        self.width
+    }
+
+    /// Marks `fam_page` as owned by `node` with `flags`.
+    pub fn set_owner(&mut self, fam_page: u64, node: NodeId, flags: PtFlags) {
+        self.entries
+            .insert(fam_page, AcmEntry::owned(self.width, node, flags));
+    }
+
+    /// Marks `fam_page` as shared with `default_flags` for bitmap-
+    /// granted nodes; actual per-node rights come from the region
+    /// bitmap (use [`AcmStore::grant_shared`]).
+    pub fn set_shared(&mut self, fam_page: u64, default_flags: PtFlags) {
+        self.entries
+            .insert(fam_page, AcmEntry::shared(self.width, default_flags));
+    }
+
+    /// Grants `node` the given rights on every shared page in `region`.
+    pub fn grant_shared(&mut self, region: u64, node: NodeId, flags: PtFlags) {
+        self.bitmaps.entry(region).or_default().grant(node, flags);
+    }
+
+    /// Revokes `node`'s rights on shared pages in `region`.
+    pub fn revoke_shared(&mut self, region: u64, node: NodeId) {
+        if let Some(b) = self.bitmaps.get_mut(&region) {
+            b.revoke(node);
+        }
+    }
+
+    /// Clears a page's metadata entirely (page freed).
+    pub fn clear(&mut self, fam_page: u64) {
+        self.entries.remove(&fam_page);
+    }
+
+    /// The entry for `fam_page`, if the page is allocated.
+    pub fn entry(&self, fam_page: u64) -> Option<AcmEntry> {
+        self.entries.get(&fam_page).copied()
+    }
+
+    /// Vets an access by `node` of kind `kind` to `fam_page` in
+    /// `region` — the STU's verification decision (§III-D): compare
+    /// the owner id, or for shared pages consult the region bitmap.
+    pub fn check(&self, fam_page: u64, region: u64, node: NodeId, kind: AccessKind) -> bool {
+        let Some(entry) = self.entries.get(&fam_page) else {
+            return false; // unallocated pages are inaccessible
+        };
+        if entry.is_shared() {
+            match self.bitmaps.get(&region) {
+                Some(bitmap) => bitmap.permits(node, kind),
+                None => false,
+            }
+        } else {
+            entry.owner() == Some(node) && entry.permits(kind)
+        }
+    }
+
+    /// Number of pages with metadata.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no page has metadata.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_bit_accounting_matches_paper() {
+        // §V-D2: 16-bit -> 16383 nodes; 8-bit -> "8191 nodes" counts
+        // the usable ids below a 6-bit marker differently, we expose
+        // the field arithmetic directly.
+        assert_eq!(AcmWidth::W16.node_bits(), 14);
+        assert_eq!(AcmWidth::W16.shared_marker(), 0x3FFF);
+        assert_eq!(AcmWidth::W16.max_nodes(), 16382);
+        assert_eq!(AcmWidth::W8.node_bits(), 6);
+        assert_eq!(AcmWidth::W32.node_bits(), 30);
+    }
+
+    #[test]
+    fn owned_entry_roundtrip() {
+        let e = AcmEntry::owned(AcmWidth::W16, NodeId::new(123), PtFlags::rx());
+        assert_eq!(e.owner(), Some(NodeId::new(123)));
+        assert!(e.permits(AccessKind::Read));
+        assert!(e.permits(AccessKind::Execute));
+        assert!(!e.permits(AccessKind::Write));
+    }
+
+    #[test]
+    fn shared_entry_has_all_ones_node_field() {
+        let e = AcmEntry::shared(AcmWidth::W16, PtFlags::ro());
+        assert!(e.is_shared());
+        assert_eq!(e.owner(), None);
+        // Fig. 5 / §III-A: a shared R/X page's full field is 0xfffd;
+        // our RW-encoding for a read-only shared page is 0xfffc.
+        assert_eq!(e.raw(), 0xFFFC);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn narrow_width_rejects_large_node_id() {
+        let _ = AcmEntry::owned(AcmWidth::W8, NodeId::new(100), PtFlags::ro());
+    }
+
+    #[test]
+    fn store_owner_check() {
+        let mut s = AcmStore::new(AcmWidth::W16);
+        s.set_owner(10, NodeId::new(1), PtFlags::rw());
+        assert!(s.check(10, 0, NodeId::new(1), AccessKind::Read));
+        assert!(s.check(10, 0, NodeId::new(1), AccessKind::Write));
+        assert!(!s.check(10, 0, NodeId::new(1), AccessKind::Execute));
+        assert!(!s.check(10, 0, NodeId::new(2), AccessKind::Read));
+    }
+
+    #[test]
+    fn unallocated_pages_are_denied() {
+        let s = AcmStore::new(AcmWidth::W16);
+        assert!(!s.check(99, 0, NodeId::new(0), AccessKind::Read));
+    }
+
+    #[test]
+    fn shared_pages_use_region_bitmap() {
+        let mut s = AcmStore::new(AcmWidth::W16);
+        s.set_shared(10, PtFlags::ro());
+        s.grant_shared(0, NodeId::new(1), PtFlags::rw());
+        s.grant_shared(0, NodeId::new(2), PtFlags::ro());
+        // Mixed permissions on the same shared page (§III-A).
+        assert!(s.check(10, 0, NodeId::new(1), AccessKind::Write));
+        assert!(s.check(10, 0, NodeId::new(2), AccessKind::Read));
+        assert!(!s.check(10, 0, NodeId::new(2), AccessKind::Write));
+        assert!(!s.check(10, 0, NodeId::new(3), AccessKind::Read));
+    }
+
+    #[test]
+    fn revoke_removes_rights() {
+        let mut s = AcmStore::new(AcmWidth::W16);
+        s.set_shared(10, PtFlags::ro());
+        s.grant_shared(0, NodeId::new(1), PtFlags::ro());
+        assert!(s.check(10, 0, NodeId::new(1), AccessKind::Read));
+        s.revoke_shared(0, NodeId::new(1));
+        assert!(!s.check(10, 0, NodeId::new(1), AccessKind::Read));
+    }
+
+    #[test]
+    fn clear_frees_page() {
+        let mut s = AcmStore::new(AcmWidth::W16);
+        s.set_owner(10, NodeId::new(1), PtFlags::rw());
+        s.clear(10);
+        assert!(!s.check(10, 0, NodeId::new(1), AccessKind::Read));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn bitmap_grant_is_per_region() {
+        let mut s = AcmStore::new(AcmWidth::W16);
+        s.set_shared(10, PtFlags::ro());
+        s.set_shared(1_000_000, PtFlags::ro());
+        s.grant_shared(0, NodeId::new(1), PtFlags::ro());
+        assert!(s.check(10, 0, NodeId::new(1), AccessKind::Read));
+        assert!(
+            !s.check(1_000_000, 3, NodeId::new(1), AccessKind::Read),
+            "grant in region 0 does not cover region 3"
+        );
+    }
+}

@@ -1,0 +1,633 @@
+//! The memory broker: system-level allocation and mapping.
+
+use std::fmt;
+
+use fam_sim::SimRng;
+use fam_vm::{NodeId, PageTable, PtFlags, Pte, PAGE_BYTES};
+use serde::{Deserialize, Serialize};
+
+use crate::layout::REGION_BYTES;
+use crate::{AccessKind, AcmStore, AcmWidth, FamLayout, LogicalNodeMap};
+
+/// Broker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrokerConfig {
+    /// FAM module capacity in bytes (Table II: 16 GB).
+    pub fam_bytes: u64,
+    /// ACM entry width (paper default 16-bit; Fig. 14 sweeps 8/32).
+    pub acm_width: AcmWidth,
+    /// Maximum registerable nodes.
+    pub max_nodes: usize,
+    /// Seed for the randomised page allocator. The paper observes that
+    /// "since FAM is shared by multiple nodes, memory allocation is
+    /// random" (§III-D) — the allocator hands out pages of each region
+    /// in shuffled order to reproduce that poor spatial locality.
+    pub seed: u64,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> BrokerConfig {
+        BrokerConfig {
+            fam_bytes: 16 << 30,
+            acm_width: AcmWidth::W16,
+            max_nodes: 64,
+            seed: 0xB20CE2,
+        }
+    }
+}
+
+/// Errors returned by broker operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrokerError {
+    /// All node slots are taken.
+    TooManyNodes,
+    /// The FAM has no free pages left.
+    OutOfMemory,
+    /// The node id is not registered.
+    UnknownNode(NodeId),
+    /// No whole 1 GB region is left for a shared segment.
+    RegionExhausted,
+    /// A shared segment larger than one region was requested.
+    SegmentTooLarge {
+        /// Pages requested.
+        requested: u64,
+        /// Pages in one region.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrokerError::TooManyNodes => write!(f, "node limit reached"),
+            BrokerError::OutOfMemory => write!(f, "fabric-attached memory exhausted"),
+            BrokerError::UnknownNode(n) => write!(f, "unregistered node {n}"),
+            BrokerError::RegionExhausted => write!(f, "no free 1 GB region for shared segment"),
+            BrokerError::SegmentTooLarge { requested, limit } => {
+                write!(
+                    f,
+                    "shared segment of {requested} pages exceeds region limit {limit}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+/// A shared memory segment registered in a dedicated 1 GB region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedSegment {
+    /// The 1 GB region hosting the segment.
+    pub region: u64,
+    /// First FAM page of the segment.
+    pub first_page: u64,
+    /// Number of pages.
+    pub pages: u64,
+}
+
+impl SharedSegment {
+    /// Iterates over the segment's FAM page numbers.
+    pub fn fam_pages(&self) -> impl Iterator<Item = u64> + '_ {
+        self.first_page..self.first_page + self.pages
+    }
+}
+
+/// Accounting for a job migration (§VI): what a shootdown costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MigrationReport {
+    /// Pages whose ownership moved.
+    pub pages_moved: u64,
+    /// ACM entries rewritten in FAM.
+    pub acm_writes: u64,
+    /// System-level translations that must be invalidated (node-side
+    /// FAM-translation-cache lines and STU entries).
+    pub translation_invalidations: u64,
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    table: PageTable,
+    /// `(npa_page, fam_page)` pairs installed by demand mapping.
+    owned_pages: Vec<(u64, u64)>,
+}
+
+/// The centralized memory broker (Opal's role in the paper's SST
+/// setup).
+///
+/// Owns the FAM: the randomised page pool, the per-node *system page
+/// tables* (NPA→FAM; these are what the STU walks, and their interior
+/// pages live in FAM), and the ACM store.
+///
+/// # Examples
+///
+/// ```
+/// use fam_broker::{AccessKind, BrokerConfig, MemoryBroker};
+///
+/// let mut broker = MemoryBroker::new(BrokerConfig::default());
+/// let a = broker.register_node().unwrap();
+/// let b = broker.register_node().unwrap();
+/// let page = broker.demand_map(a, 100).unwrap();
+/// assert!(broker.check_access(a, page, AccessKind::Read));
+/// assert!(!broker.check_access(b, page, AccessKind::Read));
+/// ```
+#[derive(Debug)]
+pub struct MemoryBroker {
+    config: BrokerConfig,
+    layout: FamLayout,
+    acm: AcmStore,
+    /// Regions not yet handed to the page pool or a shared segment.
+    /// The pool takes from the front; shared segments from the back.
+    unassigned_regions: std::collections::VecDeque<u64>,
+    /// Shuffled free pages of pool regions.
+    free_pages: Vec<u64>,
+    nodes: Vec<NodeState>,
+    shared_segments: Vec<SharedSegment>,
+    logical: LogicalNodeMap,
+    rng: SimRng,
+}
+
+impl MemoryBroker {
+    /// Creates a broker managing a fresh FAM module.
+    pub fn new(config: BrokerConfig) -> MemoryBroker {
+        let layout = FamLayout::new(config.fam_bytes, config.acm_width);
+        let regions = layout.usable_bytes().div_ceil(REGION_BYTES);
+        MemoryBroker {
+            config,
+            layout,
+            acm: AcmStore::new(config.acm_width),
+            unassigned_regions: (0..regions).collect(),
+            free_pages: Vec::new(),
+            nodes: Vec::new(),
+            shared_segments: Vec::new(),
+            logical: LogicalNodeMap::new(),
+            rng: SimRng::seeded(config.seed),
+        }
+    }
+
+    /// The FAM layout (for metadata address arithmetic).
+    pub fn layout(&self) -> &FamLayout {
+        &self.layout
+    }
+
+    /// The ACM store (ground truth the STU verifies against).
+    pub fn acm(&self) -> &AcmStore {
+        &self.acm
+    }
+
+    /// The logical-node-id map (§VI).
+    pub fn logical_nodes(&mut self) -> &mut LogicalNodeMap {
+        &mut self.logical
+    }
+
+    /// Registers a new compute node, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::TooManyNodes`] if the configured limit or
+    /// the ACM width's node-id space is exhausted, and propagates
+    /// allocation failure for the node's system-page-table root.
+    pub fn register_node(&mut self) -> Result<NodeId, BrokerError> {
+        let id = self.nodes.len();
+        if id >= self.config.max_nodes || id as u32 > self.config.acm_width.max_nodes() {
+            return Err(BrokerError::TooManyNodes);
+        }
+        let root_page = self.take_page()?;
+        self.nodes.push(NodeState {
+            table: PageTable::new(root_page * PAGE_BYTES),
+            owned_pages: Vec::new(),
+        });
+        Ok(NodeId::new(id as u16))
+    }
+
+    fn node_mut(&mut self, node: NodeId) -> Result<&mut NodeState, BrokerError> {
+        self.nodes
+            .get_mut(node.index())
+            .ok_or(BrokerError::UnknownNode(node))
+    }
+
+    fn node_ref(&self, node: NodeId) -> Result<&NodeState, BrokerError> {
+        self.nodes
+            .get(node.index())
+            .ok_or(BrokerError::UnknownNode(node))
+    }
+
+    /// Pops one free page, refilling the pool from the next unassigned
+    /// region (in shuffled order) when empty.
+    fn take_page(&mut self) -> Result<u64, BrokerError> {
+        if self.free_pages.is_empty() {
+            let region = self
+                .unassigned_regions
+                .pop_front()
+                .ok_or(BrokerError::OutOfMemory)?;
+            let first = region * (REGION_BYTES / PAGE_BYTES);
+            let last = ((region + 1) * (REGION_BYTES / PAGE_BYTES)).min(self.layout.usable_pages());
+            self.free_pages.extend(first..last);
+            // Fisher-Yates shuffle: random allocation order (§III-D).
+            for i in (1..self.free_pages.len()).rev() {
+                let j = self.rng.index(i + 1);
+                self.free_pages.swap(i, j);
+            }
+        }
+        self.free_pages.pop().ok_or(BrokerError::OutOfMemory)
+    }
+
+    /// Maps `npa_page` (a page in the node's FAM zone) to a freshly
+    /// allocated FAM page, writing ownership ACM and installing the
+    /// translation in the node's system page table. Idempotent: an
+    /// already-mapped page returns its existing FAM page.
+    ///
+    /// This is the path taken when the STU faults on an unmapped node
+    /// address and "requests physical pages from the system-level
+    /// memory broker" (§II-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownNode`] or
+    /// [`BrokerError::OutOfMemory`].
+    pub fn demand_map(&mut self, node: NodeId, npa_page: u64) -> Result<u64, BrokerError> {
+        if let Some(pte) = self.node_ref(node)?.table.translate(npa_page) {
+            return Ok(pte.target_page);
+        }
+        let fam_page = self.take_page()?;
+        // Pre-allocate pages for any interior table nodes the mapping
+        // may need (at most LEVELS-1), then return the unused ones.
+        let mut spare: Vec<u64> = Vec::with_capacity(3);
+        for _ in 0..3 {
+            spare.push(self.take_page()?);
+        }
+        let state = &mut self.nodes[node.index()];
+        let mut alloc = |_level: usize| {
+            spare
+                .pop()
+                .expect("three spare pages cover a 4-level mapping")
+                * PAGE_BYTES
+        };
+        state
+            .table
+            .map(npa_page, fam_page, PtFlags::rw(), &mut alloc);
+        state.owned_pages.push((npa_page, fam_page));
+        self.free_pages.extend(spare);
+        self.acm.set_owner(fam_page, node, PtFlags::rw());
+        Ok(fam_page)
+    }
+
+    /// Looks up a node's system-level translation without faulting.
+    pub fn translate(&self, node: NodeId, npa_page: u64) -> Option<Pte> {
+        self.node_ref(node).ok()?.table.translate(npa_page)
+    }
+
+    /// The node's system page table — what the STU's FAM-PTW walks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownNode`] for unregistered ids.
+    pub fn system_table(&self, node: NodeId) -> Result<&PageTable, BrokerError> {
+        Ok(&self.node_ref(node)?.table)
+    }
+
+    /// Vets an access: the STU's verification decision, delegated to
+    /// the ACM ground truth.
+    pub fn check_access(&self, node: NodeId, fam_page: u64, kind: AccessKind) -> bool {
+        let region = fam_page * PAGE_BYTES / REGION_BYTES;
+        self.acm.check(fam_page, region, node, kind)
+    }
+
+    /// Creates a shared segment of `pages` pages in a dedicated 1 GB
+    /// region (shared pages are confined to 1 GB physical pages,
+    /// §III-A), grants each member its flags in the region bitmap, and
+    /// maps the segment into each member's system table starting at
+    /// that member's `npa_start` page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::SegmentTooLarge`],
+    /// [`BrokerError::RegionExhausted`] or
+    /// [`BrokerError::UnknownNode`].
+    pub fn share_segment(
+        &mut self,
+        pages: u64,
+        members: &[(NodeId, PtFlags, u64)],
+    ) -> Result<SharedSegment, BrokerError> {
+        let region_pages = REGION_BYTES / PAGE_BYTES;
+        if pages > region_pages {
+            return Err(BrokerError::SegmentTooLarge {
+                requested: pages,
+                limit: region_pages,
+            });
+        }
+        for (node, _, _) in members {
+            self.node_ref(*node)?;
+        }
+        let region = self
+            .unassigned_regions
+            .pop_back()
+            .ok_or(BrokerError::RegionExhausted)?;
+        let first_page = region * region_pages;
+        let segment = SharedSegment {
+            region,
+            first_page,
+            pages,
+        };
+        for fam_page in segment.fam_pages() {
+            // All node-id bits set marks the page shared (§III-A); the
+            // entry's own permission bits are the default for bitmap
+            // members.
+            self.acm.set_shared(fam_page, PtFlags::ro());
+        }
+        for &(node, flags, npa_start) in members {
+            self.acm.grant_shared(region, node, flags);
+            for (i, fam_page) in segment.fam_pages().enumerate() {
+                let mut spare: Vec<u64> = Vec::with_capacity(3);
+                for _ in 0..3 {
+                    spare.push(self.take_page()?);
+                }
+                let state = &mut self.nodes[node.index()];
+                let mut alloc = |_level: usize| {
+                    spare.pop().expect("three spare pages cover a mapping") * PAGE_BYTES
+                };
+                state
+                    .table
+                    .map(npa_start + i as u64, fam_page, flags, &mut alloc);
+                self.free_pages.extend(spare);
+            }
+        }
+        self.shared_segments.push(segment.clone());
+        Ok(segment)
+    }
+
+    /// Revokes `node`'s rights on the shared pages of `region` (the
+    /// bitmap update a job teardown performs).
+    pub fn revoke_shared(&mut self, region: u64, node: NodeId) {
+        self.acm.revoke_shared(region, node);
+    }
+
+    /// Migrates every page owned by `from` to `to` (§VI): rewrites ACM
+    /// ownership, moves the system-table mappings, and reports the
+    /// shootdown work the caller must apply to node-side caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownNode`] for unregistered ids.
+    pub fn migrate_node(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<MigrationReport, BrokerError> {
+        self.node_ref(from)?;
+        self.node_ref(to)?;
+        let moved = std::mem::take(&mut self.nodes[from.index()].owned_pages);
+        let mut report = MigrationReport::default();
+
+        for &(npa_page, fam_page) in &moved {
+            let pte = self.nodes[from.index()]
+                .table
+                .unmap(npa_page)
+                .unwrap_or(Pte {
+                    target_page: fam_page,
+                    flags: PtFlags::rw(),
+                });
+            self.acm.set_owner(fam_page, to, PtFlags::rw());
+            report.acm_writes += 1;
+            let mut spare: Vec<u64> = Vec::with_capacity(3);
+            for _ in 0..3 {
+                spare.push(self.take_page()?);
+            }
+            let state = &mut self.nodes[to.index()];
+            let mut alloc = |_level: usize| {
+                spare.pop().expect("three spare pages cover a mapping") * PAGE_BYTES
+            };
+            state.table.map(npa_page, fam_page, pte.flags, &mut alloc);
+            self.free_pages.extend(spare);
+            report.translation_invalidations += 1;
+        }
+        self.nodes[to.index()].owned_pages.extend(&moved);
+        report.pages_moved = moved.len() as u64;
+        Ok(report)
+    }
+
+    /// Frees a previously demand-mapped page: clears ACM and removes
+    /// the mapping. No-op if the page is not mapped by `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownNode`] for unregistered ids.
+    pub fn free_page(&mut self, node: NodeId, npa_page: u64) -> Result<(), BrokerError> {
+        let state = self.node_mut(node)?;
+        if let Some(pte) = state.table.unmap(npa_page) {
+            state.owned_pages.retain(|&(n, _)| n != npa_page);
+            self.acm.clear(pte.target_page);
+            self.free_pages.push(pte.target_page);
+        }
+        Ok(())
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Pages currently owned (demand-mapped) by `node`.
+    pub fn owned_pages(&self, node: NodeId) -> usize {
+        self.node_ref(node)
+            .map(|s| s.owned_pages.len())
+            .unwrap_or(0)
+    }
+
+    /// Registered shared segments.
+    pub fn shared_segments(&self) -> &[SharedSegment] {
+        &self.shared_segments
+    }
+
+    /// The broker configuration.
+    pub fn config(&self) -> BrokerConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fam_vm::FamAddr;
+
+    fn small_broker() -> MemoryBroker {
+        MemoryBroker::new(BrokerConfig {
+            fam_bytes: 4 << 30,
+            ..BrokerConfig::default()
+        })
+    }
+
+    #[test]
+    fn register_and_map() {
+        let mut b = small_broker();
+        let n = b.register_node().unwrap();
+        let page = b.demand_map(n, 0x1000).unwrap();
+        assert_eq!(b.translate(n, 0x1000).unwrap().target_page, page);
+        assert_eq!(b.owned_pages(n), 1);
+    }
+
+    #[test]
+    fn demand_map_is_idempotent() {
+        let mut b = small_broker();
+        let n = b.register_node().unwrap();
+        let p1 = b.demand_map(n, 7).unwrap();
+        let p2 = b.demand_map(n, 7).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(b.owned_pages(n), 1);
+    }
+
+    #[test]
+    fn nodes_get_disjoint_pages() {
+        let mut b = small_broker();
+        let n1 = b.register_node().unwrap();
+        let n2 = b.register_node().unwrap();
+        let mut pages = std::collections::HashSet::new();
+        for i in 0..100 {
+            assert!(pages.insert(b.demand_map(n1, i).unwrap()));
+            assert!(pages.insert(b.demand_map(n2, i).unwrap()));
+        }
+    }
+
+    #[test]
+    fn allocation_order_is_randomised() {
+        let mut b = small_broker();
+        let n = b.register_node().unwrap();
+        let pages: Vec<u64> = (0..64).map(|i| b.demand_map(n, i).unwrap()).collect();
+        let sorted = {
+            let mut s = pages.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_ne!(pages, sorted, "random allocation (§III-D)");
+    }
+
+    #[test]
+    fn ownership_is_enforced() {
+        let mut b = small_broker();
+        let n1 = b.register_node().unwrap();
+        let n2 = b.register_node().unwrap();
+        let page = b.demand_map(n1, 0).unwrap();
+        assert!(b.check_access(n1, page, AccessKind::Read));
+        assert!(b.check_access(n1, page, AccessKind::Write));
+        assert!(!b.check_access(n1, page, AccessKind::Execute));
+        assert!(!b.check_access(n2, page, AccessKind::Read));
+    }
+
+    #[test]
+    fn shared_segment_grants_mixed_permissions() {
+        let mut b = small_broker();
+        let n1 = b.register_node().unwrap();
+        let n2 = b.register_node().unwrap();
+        let n3 = b.register_node().unwrap();
+        let seg = b
+            .share_segment(
+                16,
+                &[(n1, PtFlags::rw(), 0x9000), (n2, PtFlags::ro(), 0xA000)],
+            )
+            .unwrap();
+        let page = seg.first_page;
+        assert!(b.check_access(n1, page, AccessKind::Write));
+        assert!(b.check_access(n2, page, AccessKind::Read));
+        assert!(!b.check_access(n2, page, AccessKind::Write));
+        assert!(!b.check_access(n3, page, AccessKind::Read));
+        // Mapped into both members' system tables at their NPAs.
+        assert_eq!(b.translate(n1, 0x9000).unwrap().target_page, page);
+        assert_eq!(b.translate(n2, 0xA000).unwrap().target_page, page);
+    }
+
+    #[test]
+    fn shared_pages_marked_with_all_ones_node_field() {
+        let mut b = small_broker();
+        let n1 = b.register_node().unwrap();
+        let seg = b.share_segment(1, &[(n1, PtFlags::ro(), 0)]).unwrap();
+        let entry = b.acm().entry(seg.first_page).unwrap();
+        assert!(entry.is_shared());
+    }
+
+    #[test]
+    fn segment_too_large_rejected() {
+        let mut b = small_broker();
+        b.register_node().unwrap();
+        let err = b.share_segment(1 << 30, &[]).unwrap_err();
+        assert!(matches!(err, BrokerError::SegmentTooLarge { .. }));
+    }
+
+    #[test]
+    fn free_page_returns_memory_and_clears_acm() {
+        let mut b = small_broker();
+        let n = b.register_node().unwrap();
+        let page = b.demand_map(n, 0).unwrap();
+        b.free_page(n, 0).unwrap();
+        assert!(!b.check_access(n, page, AccessKind::Read));
+        assert_eq!(b.owned_pages(n), 0);
+        assert_eq!(b.translate(n, 0), None);
+    }
+
+    #[test]
+    fn migration_moves_ownership_and_mappings() {
+        let mut b = small_broker();
+        let from = b.register_node().unwrap();
+        let to = b.register_node().unwrap();
+        let p0 = b.demand_map(from, 10).unwrap();
+        let p1 = b.demand_map(from, 11).unwrap();
+        let report = b.migrate_node(from, to).unwrap();
+        assert_eq!(report.pages_moved, 2);
+        assert_eq!(report.acm_writes, 2);
+        assert_eq!(report.translation_invalidations, 2);
+        assert!(b.check_access(to, p0, AccessKind::Read));
+        assert!(!b.check_access(from, p1, AccessKind::Read));
+        assert_eq!(b.translate(to, 10).unwrap().target_page, p0);
+        assert_eq!(b.translate(from, 10), None);
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let mut b = small_broker();
+        let err = b.demand_map(NodeId::new(9), 0).unwrap_err();
+        assert_eq!(err, BrokerError::UnknownNode(NodeId::new(9)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut b = MemoryBroker::new(BrokerConfig {
+            fam_bytes: 16 << 20, // 16 MB: ~4K usable pages
+            ..BrokerConfig::default()
+        });
+        let n = b.register_node().unwrap();
+        let mut npa = 0u64;
+        let err = loop {
+            match b.demand_map(n, npa) {
+                Ok(_) => npa += 1,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, BrokerError::OutOfMemory);
+        assert!(npa > 1000, "most pages were allocatable first");
+    }
+
+    #[test]
+    fn node_limit_enforced() {
+        let mut b = MemoryBroker::new(BrokerConfig {
+            max_nodes: 1,
+            ..BrokerConfig::default()
+        });
+        b.register_node().unwrap();
+        assert_eq!(b.register_node().unwrap_err(), BrokerError::TooManyNodes);
+    }
+
+    #[test]
+    fn system_table_walkable_by_stu() {
+        let mut b = small_broker();
+        let n = b.register_node().unwrap();
+        let page = b.demand_map(n, 42).unwrap();
+        let table = b.system_table(n).unwrap();
+        let walk = table.walk(42);
+        assert_eq!(walk.mapping.unwrap().target_page, page);
+        assert_eq!(walk.steps.len(), 4, "4-level system page table");
+        // Interior pages live in FAM's usable region.
+        for step in &walk.steps {
+            assert!(b.layout().is_usable(FamAddr(step.entry_addr)));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! `deact-sim` — command-line front end to the DeACT system model.
+//!
+//! ```text
+//! deact-sim run <benchmark> [--scheme E-FAM|I-FAM|DeACT-W|DeACT-N]
+//!                           [--refs N] [--nodes N] [--fabric-ns N]
+//!                           [--stu-entries N] [--seed N]
+//! deact-sim compare <benchmark> [--refs N]        # all four schemes
+//! deact-sim list                                   # Table III roster
+//! ```
+
+use std::process::ExitCode;
+
+use deact::{run_benchmark, RunReport, Scheme, SystemConfig};
+use fam_workloads::table3;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  deact-sim run <benchmark> [--scheme S] [--refs N] [--nodes N] \
+         [--fabric-ns N] [--stu-entries N] [--seed N]\n  \
+         deact-sim compare <benchmark> [--refs N]\n  deact-sim list"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_scheme(s: &str) -> Option<Scheme> {
+    match s.to_ascii_lowercase().as_str() {
+        "e-fam" | "efam" => Some(Scheme::EFam),
+        "i-fam" | "ifam" => Some(Scheme::IFam),
+        "deact-w" | "deactw" => Some(Scheme::DeactW),
+        "deact-n" | "deactn" | "deact" => Some(Scheme::DeactN),
+        _ => None,
+    }
+}
+
+/// Applies `--key value` pairs onto the config; returns `None` on a
+/// malformed option.
+fn apply_flags(mut cfg: SystemConfig, args: &[String]) -> Option<SystemConfig> {
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next()?;
+        cfg = match flag.as_str() {
+            "--scheme" => cfg.with_scheme(parse_scheme(value)?),
+            "--refs" => cfg.with_refs_per_core(value.parse().ok()?),
+            "--nodes" => cfg.with_nodes(value.parse().ok()?),
+            "--fabric-ns" => cfg.with_fabric_latency_ns(value.parse().ok()?),
+            "--stu-entries" => cfg.with_stu_entries(value.parse().ok()?),
+            "--seed" => cfg.with_seed(value.parse().ok()?),
+            _ => return None,
+        };
+    }
+    Some(cfg)
+}
+
+fn print_report(r: &RunReport) {
+    println!("benchmark        {}", r.workload);
+    println!("scheme           {}", r.scheme);
+    println!("nodes x cores    {} x {}", r.nodes, r.cores_per_node);
+    println!("instructions     {}", r.instructions);
+    println!("cycles           {}", r.cycles);
+    println!("ipc              {:.4}", r.ipc);
+    println!("tlb hit          {:.2}%", r.tlb_hit_rate * 100.0);
+    println!("llc mpki         {:.1}", r.mpki);
+    if let Some(t) = r.translation_hit_rate {
+        println!("translation hit  {:.2}%", t * 100.0);
+    }
+    if let Some(a) = r.acm_hit_rate {
+        println!("acm hit          {:.2}%", a * 100.0);
+    }
+    println!(
+        "fam requests     {} data-r, {} data-w, {} wb, {} AT ({:.1}% AT)",
+        r.fam.data_reads,
+        r.fam.data_writes,
+        r.fam.writebacks,
+        r.fam.at_total(),
+        r.fam.at_percent()
+    );
+    println!(
+        "dram             {} reads, {} writes",
+        r.dram_reads, r.dram_writes
+    );
+    println!("page faults      {}", r.faults);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("{:>8} {:>8} {:>6}  (Table III)", "bench", "suite", "MPKI");
+            for w in table3() {
+                println!("{:>8} {:>8} {:>6}", w.name, w.suite.name(), w.paper_mpki);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(bench) = args.get(1) else {
+                return usage();
+            };
+            let Some(cfg) = apply_flags(SystemConfig::paper_default(), &args[2..]) else {
+                return usage();
+            };
+            if fam_workloads::Workload::by_name(bench).is_none() {
+                eprintln!("unknown benchmark `{bench}`; try `deact-sim list`");
+                return ExitCode::FAILURE;
+            }
+            print_report(&run_benchmark(bench, cfg));
+            ExitCode::SUCCESS
+        }
+        Some("compare") => {
+            let Some(bench) = args.get(1) else {
+                return usage();
+            };
+            let Some(cfg) = apply_flags(SystemConfig::paper_default(), &args[2..]) else {
+                return usage();
+            };
+            if fam_workloads::Workload::by_name(bench).is_none() {
+                eprintln!("unknown benchmark `{bench}`; try `deact-sim list`");
+                return ExitCode::FAILURE;
+            }
+            let mut baseline_ipc = None;
+            println!(
+                "{:>8} {:>9} {:>10} {:>8} {:>8}",
+                "scheme", "ipc", "norm", "AT%", "secure"
+            );
+            for scheme in Scheme::ALL {
+                let r = run_benchmark(bench, cfg.with_scheme(scheme));
+                let base = *baseline_ipc.get_or_insert(r.ipc);
+                println!(
+                    "{:>8} {:>9.4} {:>10.2} {:>8.1} {:>8}",
+                    scheme.name(),
+                    r.ipc,
+                    r.ipc / base,
+                    r.fam.at_percent(),
+                    if scheme.is_secure() { "yes" } else { "no" }
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,187 @@
+//! Run-level metrics: everything the paper's figures plot.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Scheme;
+
+/// Request traffic observed *at the FAM*, split the way Figs. 4 and 11
+/// split it: address-translation (AT) requests vs everything else.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FamTraffic {
+    /// Data reads reaching the FAM.
+    pub data_reads: u64,
+    /// Data writes reaching the FAM.
+    pub data_writes: u64,
+    /// Dirty-line writebacks reaching the FAM.
+    pub writebacks: u64,
+    /// Node page-table entry reads served by the FAM (E-FAM's AT
+    /// traffic: PTE pages live in FAM).
+    pub at_pte_reads: u64,
+    /// System page-table walk reads issued by STUs.
+    pub at_walk_reads: u64,
+    /// ACM metadata-block reads (DeACT).
+    pub at_acm_reads: u64,
+    /// Sharing-bitmap reads (DeACT, shared pages).
+    pub at_bitmap_reads: u64,
+}
+
+impl FamTraffic {
+    /// Address-translation requests (the AT bar of Fig. 4).
+    pub fn at_total(&self) -> u64 {
+        self.at_pte_reads + self.at_walk_reads + self.at_acm_reads + self.at_bitmap_reads
+    }
+
+    /// Non-AT requests.
+    pub fn non_at_total(&self) -> u64 {
+        self.data_reads + self.data_writes + self.writebacks
+    }
+
+    /// All requests at the FAM.
+    pub fn total(&self) -> u64 {
+        self.at_total() + self.non_at_total()
+    }
+
+    /// AT requests as a percentage of all FAM requests (Figs. 4 / 11).
+    pub fn at_percent(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.at_total() as f64 * 100.0 / self.total() as f64
+        }
+    }
+
+    /// Accumulates another traffic record.
+    pub fn merge(&mut self, other: &FamTraffic) {
+        self.data_reads += other.data_reads;
+        self.data_writes += other.data_writes;
+        self.writebacks += other.writebacks;
+        self.at_pte_reads += other.at_pte_reads;
+        self.at_walk_reads += other.at_walk_reads;
+        self.at_acm_reads += other.at_acm_reads;
+        self.at_bitmap_reads += other.at_bitmap_reads;
+    }
+}
+
+/// The result of one simulation run: one benchmark under one scheme
+/// and configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Scheme simulated.
+    pub scheme: Scheme,
+    /// Benchmark name.
+    pub workload: String,
+    /// Nodes simulated.
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores_per_node: usize,
+    /// Instructions retired, all cores.
+    pub instructions: u64,
+    /// Makespan in cycles.
+    pub cycles: u64,
+    /// System IPC (`instructions / cycles`); the paper's normalized
+    /// performance is the ratio of this across schemes.
+    pub ipc: f64,
+    /// Traffic observed at the FAM.
+    pub fam: FamTraffic,
+    /// FAM address-translation hit rate (Fig. 10): the STU's coupled
+    /// entry hit rate for I-FAM, the in-DRAM translation cache hit
+    /// rate for DeACT. `None` for E-FAM (no system-level translation).
+    pub translation_hit_rate: Option<f64>,
+    /// ACM hit rate at the STU (Fig. 9). `None` for E-FAM.
+    pub acm_hit_rate: Option<f64>,
+    /// Node TLB hit rate.
+    pub tlb_hit_rate: f64,
+    /// LLC misses per kilo-instruction (Table III's metric).
+    pub mpki: f64,
+    /// Local DRAM reads (data + translation-cache traffic).
+    pub dram_reads: u64,
+    /// Local DRAM writes.
+    pub dram_writes: u64,
+    /// Page faults (node-level first touches plus system-level
+    /// demand maps).
+    pub faults: u64,
+    /// References simulated per core.
+    pub refs_per_core: u64,
+}
+
+impl RunReport {
+    /// Performance of this run normalized to a baseline run (the y
+    /// axis of Figs. 3 and 12: `self` relative to E-FAM).
+    pub fn normalized_to(&self, baseline: &RunReport) -> f64 {
+        self.ipc / baseline.ipc
+    }
+
+    /// Speedup of this run over another (the y axis of Figs. 13–16:
+    /// DeACT relative to I-FAM).
+    pub fn speedup_over(&self, other: &RunReport) -> f64 {
+        self.ipc / other.ipc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traffic() -> FamTraffic {
+        FamTraffic {
+            data_reads: 60,
+            data_writes: 20,
+            writebacks: 10,
+            at_pte_reads: 5,
+            at_walk_reads: 3,
+            at_acm_reads: 1,
+            at_bitmap_reads: 1,
+        }
+    }
+
+    #[test]
+    fn traffic_totals() {
+        let t = traffic();
+        assert_eq!(t.at_total(), 10);
+        assert_eq!(t.non_at_total(), 90);
+        assert_eq!(t.total(), 100);
+        assert!((t.at_percent() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_traffic_is_zero_percent() {
+        assert_eq!(FamTraffic::default().at_percent(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = traffic();
+        a.merge(&traffic());
+        assert_eq!(a.total(), 200);
+        assert_eq!(a.at_walk_reads, 6);
+    }
+
+    fn report(ipc: f64) -> RunReport {
+        RunReport {
+            scheme: Scheme::EFam,
+            workload: "test".into(),
+            nodes: 1,
+            cores_per_node: 4,
+            instructions: 1000,
+            cycles: 100,
+            ipc,
+            fam: FamTraffic::default(),
+            translation_hit_rate: None,
+            acm_hit_rate: None,
+            tlb_hit_rate: 0.9,
+            mpki: 50.0,
+            dram_reads: 0,
+            dram_writes: 0,
+            faults: 0,
+            refs_per_core: 10,
+        }
+    }
+
+    #[test]
+    fn normalization_and_speedup() {
+        let efam = report(2.0);
+        let ifam = report(0.5);
+        assert!((ifam.normalized_to(&efam) - 0.25).abs() < 1e-12);
+        assert!((efam.speedup_over(&ifam) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,847 @@
+//! The full-system model and simulation driver.
+
+use fam_broker::{AccessKind, BrokerConfig, MemoryBroker};
+use fam_fabric::Fabric;
+use fam_mem::{MemOpKind, NvmModel};
+use fam_sim::{Cycle, Duration};
+use fam_stu::Stu;
+use fam_vm::{Pte, VirtAddr, PAGE_BYTES};
+use fam_workloads::{MemRef, RefStream, TraceGenerator, Workload};
+
+use crate::metrics::{FamTraffic, RunReport};
+use crate::node::{Node, FAM_KEY_PAGE};
+use crate::{Scheme, SystemConfig};
+
+/// A complete FAM system under one scheme: nodes, fabric, STUs, the
+/// FAM device and the memory broker (Fig. 6 writ large).
+///
+/// # Examples
+///
+/// ```
+/// use deact::{Scheme, System, SystemConfig};
+/// use fam_workloads::Workload;
+///
+/// let cfg = SystemConfig::paper_default()
+///     .with_scheme(Scheme::DeactN)
+///     .with_refs_per_core(200);
+/// let mut sys = System::new(cfg, &Workload::by_name("astar").unwrap());
+/// let report = sys.run();
+/// assert!(report.ipc > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct System {
+    config: SystemConfig,
+    workload_name: String,
+    nodes: Vec<Node>,
+    stus: Vec<Stu>,
+    /// Per-STU FAM-PTW availability: the walker handles one walk at a
+    /// time, so concurrent misses queue — the first-order reason
+    /// I-FAM collapses on translation-hostile workloads.
+    walker_free: Vec<Cycle>,
+    fabric: Fabric,
+    /// One device model per FAM module; pages interleave across them.
+    nvm: Vec<NvmModel>,
+    broker: MemoryBroker,
+    router: Duration,
+    stu_lookup: Duration,
+    fault_latency: Duration,
+    traffic: FamTraffic,
+}
+
+impl System {
+    /// Builds a system running `workload` on every core.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (see
+    /// [`SystemConfig::validate`]).
+    pub fn new(config: SystemConfig, workload: &Workload) -> System {
+        let streams = (0..config.nodes)
+            .map(|n| {
+                (0..config.cores_per_node)
+                    .map(|c| {
+                        let seed = config
+                            .seed
+                            .wrapping_mul(0x9E37_79B9)
+                            .wrapping_add((n * 64 + c) as u64);
+                        RefStream::from(TraceGenerator::new(
+                            *workload,
+                            fam_workloads::VA_BASE + ((c as u64) << 40),
+                            seed,
+                        ))
+                    })
+                    .collect()
+            })
+            .collect();
+        System::with_streams(config, workload.name, streams)
+    }
+
+    /// Builds a system whose cores replay recorded traces instead of
+    /// running the synthetic generators — one trace per core, one
+    /// inner vector per node (see [`fam_workloads::trace`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace matrix does not match `nodes ×
+    /// cores_per_node`, or on degenerate configurations.
+    pub fn from_traces(config: SystemConfig, label: &str, traces: Vec<Vec<Vec<MemRef>>>) -> System {
+        assert_eq!(traces.len(), config.nodes, "one trace set per node");
+        let streams = traces
+            .into_iter()
+            .map(|node_traces| {
+                node_traces
+                    .into_iter()
+                    .map(|t| RefStream::from(fam_workloads::TraceReplay::new(t)))
+                    .collect()
+            })
+            .collect();
+        System::with_streams(config, label, streams)
+    }
+
+    /// Builds a system from explicit per-core reference streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (see
+    /// [`SystemConfig::validate`]) or a mis-shaped stream matrix.
+    pub fn with_streams(config: SystemConfig, label: &str, streams: Vec<Vec<RefStream>>) -> System {
+        config.validate();
+        assert_eq!(streams.len(), config.nodes, "one stream set per node");
+        let freq = config.frequency();
+        let mut broker = MemoryBroker::new(BrokerConfig {
+            fam_bytes: config.fam_bytes,
+            acm_width: config.acm_width,
+            max_nodes: config.nodes,
+            seed: config.seed,
+        });
+        let mut nodes: Vec<Node> = streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, node_streams)| Node::new(&config, node_streams, &mut broker, i))
+            .collect();
+        if config.shared_segment_pages > 0 {
+            let members: Vec<(fam_vm::NodeId, fam_vm::PtFlags, u64)> = nodes
+                .iter()
+                .map(|n| (n.id, fam_vm::PtFlags::rw(), crate::node::FAM_ZONE_PAGE))
+                .collect();
+            let segment = broker
+                .share_segment(config.shared_segment_pages, &members)
+                .expect("a 1 GB region is reserved for sharing");
+            for node in &mut nodes {
+                node.map_shared_segment(segment.first_page, segment.pages);
+            }
+        }
+        let stus = if config.scheme == Scheme::EFam {
+            Vec::new()
+        } else {
+            (0..config.nodes)
+                .map(|_| Stu::with_ptw_entries(config.stu_config(), config.stu_ptw_entries))
+                .collect()
+        };
+        System {
+            workload_name: label.to_string(),
+            nodes,
+            stus,
+            walker_free: vec![Cycle::ZERO; config.nodes],
+            fabric: Fabric::new(freq, config.fabric, config.nodes),
+            nvm: (0..config.fam_modules)
+                .map(|_| NvmModel::new(freq, config.nvm))
+                .collect(),
+            broker,
+            router: freq.ns_to_cycles(config.router_ns),
+            stu_lookup: Duration(config.stu_lookup_cycles),
+            fault_latency: freq.ns_to_cycles(config.fault_ns),
+            traffic: FamTraffic::default(),
+            config,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The memory broker (for inspection and shared-segment setup).
+    pub fn broker_mut(&mut self) -> &mut MemoryBroker {
+        &mut self.broker
+    }
+
+    /// The per-node STUs (empty for E-FAM).
+    pub fn stus(&self) -> &[Stu] {
+        &self.stus
+    }
+
+    /// One-line summary of contention internals, for diagnostics.
+    pub fn contention_summary(&self) -> String {
+        format!(
+            "nvm_stalls={} nvm_reads={} nvm_writes={} fabric_traversals={} core_stalls={:?}",
+            self.nvm.iter().map(NvmModel::admission_stalls).sum::<u64>(),
+            self.nvm.iter().map(NvmModel::reads).sum::<u64>(),
+            self.nvm.iter().map(NvmModel::writes).sum::<u64>(),
+            self.fabric.traversals(),
+            self.nodes[0]
+                .cores
+                .iter()
+                .map(|c| c.window.stalls())
+                .collect::<Vec<_>>()
+        )
+    }
+
+    /// Runs every core to `refs_per_core` references and reports.
+    pub fn run(&mut self) -> RunReport {
+        let refs = self.config.refs_per_core;
+        loop {
+            // Stage one reference per unfinished core, then execute
+            // the one with the earliest *true* start time so the
+            // shared-resource timelines advance in time order. (Out-of-
+            // order processing would let a far-future request push a
+            // resource's timeline past everyone else's present.)
+            for n in 0..self.nodes.len() {
+                for c in 0..self.nodes[n].cores.len() {
+                    let core = &self.nodes[n].cores[c];
+                    if core.pending.is_none() && core.refs_done < refs {
+                        self.stage_ref(n, c);
+                    }
+                }
+            }
+            let mut best: Option<(usize, usize, Cycle)> = None;
+            for (n, node) in self.nodes.iter().enumerate() {
+                for (c, core) in node.cores.iter().enumerate() {
+                    if let Some(p) = core.pending {
+                        if best.is_none_or(|(_, _, bt)| p.ready < bt) {
+                            best = Some((n, c, p.ready));
+                        }
+                    }
+                }
+            }
+            let Some((n, c, _)) = best else { break };
+            self.sim_ref(n, c);
+        }
+        self.report()
+    }
+
+    /// Draws the next reference of core `c` and predicts its start.
+    fn stage_ref(&mut self, n: usize, c: usize) {
+        let issue_width = u64::from(self.config.issue_width);
+        let core = &mut self.nodes[n].cores[c];
+        let r = core.gen.next_ref();
+        core.instructions += u64::from(r.gap_instrs) + 1;
+        core.next_issue += Duration(u64::from(r.gap_instrs).div_ceil(issue_width) + 1);
+        let mut start_req = core.next_issue.max(core.issue_clock);
+        if r.dependent {
+            start_req = start_req.max(core.last_mem_completion);
+        }
+        core.pending = Some(crate::node::PendingRef {
+            mem: r,
+            start_req,
+            ready: core.window.would_start(start_req),
+        });
+    }
+
+    /// Simulates one staged reference of core `c` on node `n` end to
+    /// end.
+    fn sim_ref(&mut self, n: usize, c: usize) {
+        let (r, t) = {
+            let core = &mut self.nodes[n].cores[c];
+            let p = core
+                .pending
+                .take()
+                .expect("sim_ref runs only on staged cores");
+            let start = core.window.admit(p.start_req);
+            core.issue_clock = start;
+            (p.mem, start)
+        };
+
+        // Node-level translation (TLB → node page-table walk).
+        let (pte, t) = self.translate(n, c, r.vaddr, t);
+        let phys_byte = pte.target_page * PAGE_BYTES + r.vaddr.offset();
+        let line = phys_byte / 64;
+
+        // Data caches.
+        let lookup = self.nodes[n].hierarchy.access(c, line, r.is_write);
+        let mut completion = t + lookup.latency;
+        if lookup.level.is_none() {
+            let kind = if r.is_write {
+                MemOpKind::Write
+            } else {
+                MemOpKind::Read
+            };
+            completion = if self.nodes[n].is_fam_page(pte.target_page) {
+                match self.config.scheme {
+                    Scheme::EFam => {
+                        if r.is_write {
+                            self.traffic.data_writes += 1;
+                        } else {
+                            self.traffic.data_reads += 1;
+                        }
+                        let fam_byte = phys_byte - FAM_KEY_PAGE * PAGE_BYTES;
+                        self.fam_round_trip(n, completion, fam_byte, kind)
+                    }
+                    Scheme::IFam => {
+                        self.ifam_fam_access(n, completion, pte.target_page, r.vaddr.offset(), kind)
+                    }
+                    Scheme::DeactW | Scheme::DeactN => self.deact_fam_access(
+                        n,
+                        completion,
+                        pte.target_page,
+                        r.vaddr.offset(),
+                        kind,
+                    ),
+                }
+            } else if r.is_write {
+                self.nodes[n].dram.write(completion, phys_byte)
+            } else {
+                self.nodes[n].dram.access(completion, phys_byte)
+            };
+        }
+        if let Some(wb_line) = lookup.writeback {
+            self.writeback(n, wb_line, completion);
+        }
+
+        let core = &mut self.nodes[n].cores[c];
+        core.window.record_completion(completion);
+        core.last_mem_completion = completion;
+        core.refs_done += 1;
+        core.finish = core.finish.max(completion);
+    }
+
+    /// Node-level translation: TLB, then a page-table walk whose entry
+    /// reads replay through the data caches and the right memory.
+    fn translate(&mut self, n: usize, c: usize, vaddr: VirtAddr, t: Cycle) -> (Pte, Cycle) {
+        let vpage = vaddr.vpage();
+        let (_, tlb_latency, hit) = self.nodes[n].cores[c].tlb.lookup(vpage);
+        let mut t = t + tlb_latency;
+        if let Some(pte) = hit {
+            return (pte, t);
+        }
+        loop {
+            let plan = {
+                let node = &mut self.nodes[n];
+                fam_vm::PageWalker::plan(&node.page_table, Some(&mut node.cores[c].ptw), vpage)
+            };
+            match plan.mapping {
+                None => {
+                    // Node-level page fault: the OS installs a mapping.
+                    t += self.fault_latency;
+                    let node = &mut self.nodes[n];
+                    node.map_page(vaddr, &mut self.broker);
+                }
+                Some(pte) => {
+                    for acc in &plan.accesses {
+                        t = self.pt_step_access(n, c, acc.entry_addr, t);
+                    }
+                    self.nodes[n].cores[c].tlb.fill(vpage, pte);
+                    return (pte, t);
+                }
+            }
+        }
+    }
+
+    /// One page-table entry read: probes the caches, then local DRAM
+    /// or (E-FAM only) the FAM.
+    fn pt_step_access(&mut self, n: usize, c: usize, entry_addr: u64, t: Cycle) -> Cycle {
+        let lookup = self.nodes[n].hierarchy.access(c, entry_addr / 64, false);
+        let mut t = t + lookup.latency;
+        if lookup.level.is_none() {
+            let page = entry_addr / PAGE_BYTES;
+            t = if self.nodes[n].is_fam_page(page) {
+                debug_assert_eq!(
+                    self.config.scheme,
+                    Scheme::EFam,
+                    "only E-FAM places node PT pages in FAM"
+                );
+                self.traffic.at_pte_reads += 1;
+                let fam_byte = entry_addr - FAM_KEY_PAGE * PAGE_BYTES;
+                self.fam_round_trip(n, t, fam_byte, MemOpKind::Read)
+            } else {
+                self.nodes[n].dram.access(t, entry_addr)
+            };
+        }
+        if let Some(wb_line) = lookup.writeback {
+            self.writeback(n, wb_line, t);
+        }
+        t
+    }
+
+    /// Selects the FAM module backing an address (page-interleaved).
+    fn module_of(&self, fam_byte: u64) -> usize {
+        ((fam_byte / PAGE_BYTES) % self.nvm.len() as u64) as usize
+    }
+
+    /// A node↔FAM round trip for one block: fabric there, device
+    /// service, fabric back.
+    fn fam_round_trip(&mut self, n: usize, t: Cycle, fam_byte: u64, kind: MemOpKind) -> Cycle {
+        let module = self.module_of(fam_byte);
+        let arrival = self.fabric.node_to_fam(t, n);
+        let done = self.nvm[module].access(arrival, fam_byte, kind);
+        self.fabric.fam_to_node(done, n, 64)
+    }
+
+    /// Walks the system page table at the STU, serialized on the
+    /// node's single FAM-PTW unit; every entry read is a FAM round
+    /// trip counted as AT traffic.
+    fn stu_walk(&mut self, n: usize, t: Cycle, npa_page: u64) -> (u64, Cycle) {
+        let node_id = self.nodes[n].id;
+        let mut t = t;
+        loop {
+            match self.stus[n].walk_system_table(&self.broker, node_id, npa_page) {
+                Ok((fam_page, plan)) => {
+                    let start = t.max(self.walker_free[n]);
+                    let mut tw = start;
+                    for acc in &plan.accesses {
+                        self.traffic.at_walk_reads += 1;
+                        tw = self.fam_round_trip(n, tw, acc.entry_addr, MemOpKind::Read);
+                    }
+                    self.walker_free[n] = tw;
+                    return (fam_page, tw);
+                }
+                Err(_) => {
+                    // System-level fault: the STU asks the broker for
+                    // a page (§II-C) and retries.
+                    t += self.fault_latency;
+                    self.nodes[n]
+                        .system_fault(npa_page, &mut self.broker)
+                        .expect("FAM is sized to fit the workload");
+                }
+            }
+        }
+    }
+
+    /// The I-FAM data path (Fig. 2b): every FAM access is translated
+    /// *and* verified at the STU.
+    fn ifam_fam_access(
+        &mut self,
+        n: usize,
+        t: Cycle,
+        npa_page: u64,
+        offset: u64,
+        kind: MemOpKind,
+    ) -> Cycle {
+        let node_id = self.nodes[n].id;
+        let acc_kind = access_kind(kind);
+        let mut t = t + self.router + self.stu_lookup; // node → STU lookup
+        let fam_page = match self.stus[n].cache_mut().ifam_lookup(npa_page) {
+            Some(fam_page) => fam_page,
+            None => {
+                // Coupled-entry miss: walk serialized at the FAM-PTW
+                // (`stu_walk` handles system faults internally), then
+                // fill the coupled entry.
+                let (fam_page, tw) = self.stu_walk(n, t, npa_page);
+                t = tw;
+                self.stus[n].cache_mut().ifam_fill(npa_page, fam_page);
+                fam_page
+            }
+        };
+        assert!(
+            self.broker.check_access(node_id, fam_page, acc_kind),
+            "benign workloads never trip access control"
+        );
+        match kind {
+            MemOpKind::Read => self.traffic.data_reads += 1,
+            MemOpKind::Write => self.traffic.data_writes += 1,
+        }
+        let done = self.fam_round_trip(n, t, fam_page * PAGE_BYTES + offset, kind);
+        done + self.router // response back through the router
+    }
+
+    /// The DeACT data path (Fig. 6): unverified node-side translation
+    /// from the in-DRAM cache, then decoupled verification at the STU.
+    fn deact_fam_access(
+        &mut self,
+        n: usize,
+        t: Cycle,
+        npa_page: u64,
+        offset: u64,
+        kind: MemOpKind,
+    ) -> Cycle {
+        let node_id = self.nodes[n].id;
+        let acc_kind = access_kind(kind);
+
+        // ① FAM translator: one DRAM set read + parallel tag match.
+        let set_addr = self.nodes[n]
+            .translator
+            .as_ref()
+            .expect("DeACT nodes have a translator")
+            .dram_addr_of(npa_page);
+        let mut t = self.nodes[n].dram.access(t, set_addr) + Duration(1);
+
+        let cached = self.nodes[n]
+            .translator
+            .as_mut()
+            .expect("checked above")
+            .lookup(npa_page);
+        if self.config.translation_cache_lru {
+            // §III-C: LRU means writing back updated recency bits on
+            // every access — an extra DRAM write off the critical path.
+            self.nodes[n].dram.write(t, set_addr);
+        }
+        let fam_page = match cached {
+            Some(fam_page) => {
+                // ③ forward pre-translated with V = 1.
+                t += self.router;
+                fam_page
+            }
+            None => {
+                // ④ V = 0: the STU walks on our behalf...
+                t += self.router;
+                let (fam_page, tw) = self.stu_walk(n, t, npa_page);
+                t = tw;
+                // ⑤ ...and returns the mapping; the translator updates
+                // the in-DRAM cache with a read-modify-write that only
+                // occupies the channel (off the critical path).
+                let tr = self.nodes[n].translator.as_mut().expect("checked above");
+                tr.install(npa_page, fam_page);
+                self.nodes[n].dram.access(t, set_addr);
+                self.nodes[n].dram.write(t, set_addr);
+                fam_page
+            }
+        };
+
+        // Outstanding-mapping-list bookkeeping (reads expect data
+        // responses tagged with FAM addresses).
+        if kind == MemOpKind::Read {
+            let tr = self.nodes[n].translator.as_mut().expect("checked above");
+            tr.oml_mut().register(fam_page, npa_page);
+        }
+
+        // Decoupled verification at the STU. Under the §III-A
+        // encrypted-memory extension, reads skip verification entirely
+        // (a foreign node's ciphertext is useless without its key).
+        if !(self.config.skip_read_checks && kind == MemOpKind::Read) {
+            let v = self.stus[n].verify(&self.broker, node_id, fam_page, acc_kind);
+            t += self.stu_lookup;
+            if let Some(acm_addr) = v.acm_fetch_addr {
+                self.traffic.at_acm_reads += 1;
+                t = self.fam_round_trip(n, t, acm_addr, MemOpKind::Read);
+                if let Some(bitmap_addr) = v.bitmap_fetch_addr {
+                    self.traffic.at_bitmap_reads += 1;
+                    t = self.fam_round_trip(n, t, bitmap_addr, MemOpKind::Read);
+                }
+            }
+            assert!(v.allowed, "benign workloads never trip access control");
+        }
+
+        match kind {
+            MemOpKind::Read => self.traffic.data_reads += 1,
+            MemOpKind::Write => self.traffic.data_writes += 1,
+        }
+        let done = self.fam_round_trip(n, t, fam_page * PAGE_BYTES + offset, kind);
+
+        if kind == MemOpKind::Read {
+            let tr = self.nodes[n].translator.as_mut().expect("checked above");
+            tr.oml_mut().complete(fam_page);
+        }
+        done + self.router
+    }
+
+    /// A dirty-line writeback, off the critical path: it occupies the
+    /// memory resources at `at` but delays nobody directly.
+    fn writeback(&mut self, n: usize, wb_line: u64, at: Cycle) {
+        let byte = wb_line * 64;
+        let page = byte / PAGE_BYTES;
+        if self.nodes[n].is_fam_page(page) {
+            let fam_byte = match self.config.scheme {
+                Scheme::EFam => byte - FAM_KEY_PAGE * PAGE_BYTES,
+                _ => {
+                    // The LLC holds node addresses; eviction reuses the
+                    // system translation (hardware tags the line), so no
+                    // timing charge and no AT traffic.
+                    let Some(pte) = self.broker.translate(self.nodes[n].id, page) else {
+                        return;
+                    };
+                    pte.target_page * PAGE_BYTES + byte % PAGE_BYTES
+                }
+            };
+            self.traffic.writebacks += 1;
+            let module = self.module_of(fam_byte);
+            let arrival = self.fabric.node_to_fam(at, n);
+            self.nvm[module].access(arrival, fam_byte, MemOpKind::Write);
+        } else {
+            self.nodes[n].dram.write(at, byte);
+        }
+    }
+
+    /// Assembles the run report.
+    fn report(&self) -> RunReport {
+        let instructions: u64 = self.nodes.iter().map(Node::instructions).sum();
+        let cycles = self
+            .nodes
+            .iter()
+            .map(Node::finish)
+            .max()
+            .unwrap_or(Cycle::ZERO)
+            .0
+            .max(1);
+        let mut tlb = fam_sim::stats::Ratio::new();
+        for node in &self.nodes {
+            for core in &node.cores {
+                tlb.merge(core.tlb.stats());
+            }
+        }
+        let mut llc = fam_sim::stats::Ratio::new();
+        for node in &self.nodes {
+            llc.merge(node.hierarchy.llc_stats());
+        }
+        let (translation_hit_rate, acm_hit_rate) = match self.config.scheme {
+            Scheme::EFam => (None, None),
+            Scheme::IFam => {
+                let mut acm = fam_sim::stats::Ratio::new();
+                for stu in &self.stus {
+                    acm.merge(stu.acm_stats());
+                }
+                (Some(acm.rate()), Some(acm.rate()))
+            }
+            Scheme::DeactW | Scheme::DeactN => {
+                let mut tr = fam_sim::stats::Ratio::new();
+                for node in &self.nodes {
+                    if let Some(t) = &node.translator {
+                        tr.merge(t.hit_ratio());
+                    }
+                }
+                let mut acm = fam_sim::stats::Ratio::new();
+                for stu in &self.stus {
+                    acm.merge(stu.acm_stats());
+                }
+                (Some(tr.rate()), Some(acm.rate()))
+            }
+        };
+        RunReport {
+            scheme: self.config.scheme,
+            workload: self.workload_name.clone(),
+            nodes: self.config.nodes,
+            cores_per_node: self.config.cores_per_node,
+            instructions,
+            cycles,
+            ipc: instructions as f64 / cycles as f64,
+            fam: self.traffic,
+            translation_hit_rate,
+            acm_hit_rate,
+            tlb_hit_rate: tlb.rate(),
+            mpki: llc.misses() as f64 / (instructions as f64 / 1000.0),
+            dram_reads: self.nodes.iter().map(|n| n.dram.reads()).sum(),
+            dram_writes: self.nodes.iter().map(|n| n.dram.writes()).sum(),
+            faults: self.nodes.iter().map(|n| n.faults).sum(),
+            refs_per_core: self.config.refs_per_core,
+        }
+    }
+}
+
+fn access_kind(kind: MemOpKind) -> AccessKind {
+    match kind {
+        MemOpKind::Read => AccessKind::Read,
+        MemOpKind::Write => AccessKind::Write,
+    }
+}
+
+/// Runs one benchmark under one configuration and returns the report —
+/// the workhorse of the experiment harness.
+///
+/// # Panics
+///
+/// Panics if `name` is not a Table III benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use deact::{run_benchmark, Scheme, SystemConfig};
+///
+/// let cfg = SystemConfig::paper_default().with_refs_per_core(100);
+/// let r = run_benchmark("pf", cfg.with_scheme(Scheme::EFam));
+/// assert_eq!(r.workload, "pf");
+/// ```
+pub fn run_benchmark(name: &str, config: SystemConfig) -> RunReport {
+    let workload = Workload::by_name(name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}; see Table III"));
+    System::new(config, &workload).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(scheme: Scheme) -> SystemConfig {
+        SystemConfig::paper_default()
+            .with_scheme(scheme)
+            .with_refs_per_core(2_000)
+            .with_seed(7)
+    }
+
+    #[test]
+    fn all_schemes_complete_and_report() {
+        for scheme in Scheme::ALL {
+            let r = run_benchmark("astar", quick(scheme));
+            assert_eq!(r.scheme, scheme);
+            assert!(r.ipc > 0.0, "{scheme}: ipc {}", r.ipc);
+            assert_eq!(r.refs_per_core, 2_000);
+            assert!(r.instructions > 8_000, "{scheme}");
+            assert!(r.cycles > 0, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn efam_has_no_system_translation_stats() {
+        let r = run_benchmark("pf", quick(Scheme::EFam));
+        assert_eq!(r.translation_hit_rate, None);
+        assert_eq!(r.acm_hit_rate, None);
+        assert_eq!(r.fam.at_walk_reads, 0);
+        assert_eq!(r.fam.at_acm_reads, 0);
+    }
+
+    #[test]
+    fn efam_at_traffic_is_pte_reads() {
+        let r = run_benchmark("sssp", quick(Scheme::EFam));
+        assert!(r.fam.at_pte_reads > 0, "E-FAM PTE pages live in FAM");
+    }
+
+    #[test]
+    fn ifam_translates_at_stu() {
+        let r = run_benchmark("sssp", quick(Scheme::IFam));
+        assert!(r.fam.at_walk_reads > 0);
+        assert_eq!(r.fam.at_pte_reads, 0, "node PT pages stay in DRAM");
+        assert_eq!(r.fam.at_acm_reads, 0, "ACM rides in the coupled entry");
+        assert!(r.translation_hit_rate.is_some());
+    }
+
+    /// A reuse-heavy workload sized between the STU's 4 MB reach and
+    /// the translation cache's 256 MB reach, so short test runs warm
+    /// up: the regime where DeACT's advantage lives.
+    /// Tiers sized so reuse is high but the cold tail pressures the
+    /// 1024-entry STU far more than DeACT-N's 2048 ACM slots or the
+    /// 65536-entry translation cache.
+    fn reuse_workload() -> Workload {
+        Workload {
+            footprint_pages: 4096,
+            hot_fraction: 0.30,
+            hot_pages: 64,
+            warm_fraction: 0.45,
+            warm_pages: 800,
+            seq_run: 1,
+            dep_fraction: 0.5,
+            ..Workload::by_name("canl").unwrap()
+        }
+    }
+
+    #[test]
+    fn deact_fetches_acm_and_uses_dram_cache() {
+        let mut sys = System::new(
+            quick(Scheme::DeactN).with_refs_per_core(20_000),
+            &reuse_workload(),
+        );
+        let r = sys.run();
+        assert!(r.fam.at_acm_reads > 0);
+        assert!(
+            r.translation_hit_rate.unwrap() > 0.5,
+            "got {}",
+            r.translation_hit_rate.unwrap()
+        );
+        assert!(r.dram_reads > 0, "translation-cache reads hit DRAM");
+    }
+
+    #[test]
+    fn ifam_is_slower_than_efam_on_translation_hostile_workloads() {
+        let efam = run_benchmark("sssp", quick(Scheme::EFam));
+        let ifam = run_benchmark("sssp", quick(Scheme::IFam));
+        assert!(
+            ifam.ipc < efam.ipc,
+            "I-FAM {} !< E-FAM {}",
+            ifam.ipc,
+            efam.ipc
+        );
+    }
+
+    #[test]
+    fn deact_n_recovers_performance_over_ifam() {
+        let cfg = quick(Scheme::IFam).with_refs_per_core(20_000);
+        let ifam = System::new(cfg, &reuse_workload()).run();
+        let deact = System::new(cfg.with_scheme(Scheme::DeactN), &reuse_workload()).run();
+        assert!(
+            deact.ipc > ifam.ipc,
+            "DeACT-N {} !> I-FAM {}",
+            deact.ipc,
+            ifam.ipc
+        );
+    }
+
+    #[test]
+    fn deact_n_acm_hits_beat_deact_w_on_random_workloads() {
+        let w = run_benchmark("canl", quick(Scheme::DeactW));
+        let n = run_benchmark("canl", quick(Scheme::DeactN));
+        assert!(
+            n.acm_hit_rate.unwrap() >= w.acm_hit_rate.unwrap(),
+            "N {} !>= W {}",
+            n.acm_hit_rate.unwrap(),
+            w.acm_hit_rate.unwrap()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_benchmark("pf", quick(Scheme::DeactN));
+        let b = run_benchmark("pf", quick(Scheme::DeactN));
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.fam, b.fam);
+    }
+
+    #[test]
+    fn multi_node_runs_share_the_fam() {
+        let cfg = quick(Scheme::DeactN).with_nodes(2).with_refs_per_core(500);
+        let r = run_benchmark("pf", cfg);
+        assert_eq!(r.nodes, 2);
+        assert!(r.instructions > 4_000, "both nodes executed");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_benchmark_panics() {
+        run_benchmark("doom", quick(Scheme::EFam));
+    }
+
+    #[test]
+    fn multi_module_fam_distributes_traffic() {
+        let cfg = quick(Scheme::EFam)
+            .with_fam_modules(4)
+            .with_refs_per_core(1_000);
+        let r = run_benchmark("pf", cfg);
+        assert!(r.fam.data_reads > 0);
+        // Same run, one module: identical functional traffic.
+        let single = run_benchmark("pf", quick(Scheme::EFam).with_refs_per_core(1_000));
+        assert_eq!(r.fam.data_reads, single.fam.data_reads);
+    }
+
+    #[test]
+    #[should_panic(expected = "one stream set per node")]
+    fn misshaped_stream_matrix_rejected() {
+        let cfg = quick(Scheme::EFam).with_nodes(2);
+        let _ = System::with_streams(cfg, "bad", Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "one reference stream per core")]
+    fn misshaped_core_streams_rejected() {
+        let cfg = quick(Scheme::EFam);
+        let w = Workload::by_name("pf").unwrap();
+        let streams = vec![vec![fam_workloads::RefStream::from(w.generator(0))]]; // 1 != 4
+        let _ = System::with_streams(cfg, "bad", streams);
+    }
+
+    #[test]
+    fn shared_segment_reserves_npa_window() {
+        let mut w = Workload::by_name("pf").unwrap();
+        w.shared_fraction = 0.3;
+        w.shared_pages = 16;
+        let cfg = quick(Scheme::DeactN)
+            .with_refs_per_core(1_500)
+            .with_shared_segment_pages(16);
+        let mut sys = System::new(cfg, &w);
+        let r = sys.run();
+        assert!(r.ipc > 0.0);
+        // Every node's shared VA window resolves to the same FAM pages.
+        let shared_vpage = fam_workloads::SHARED_VA_BASE / PAGE_BYTES;
+        let npa = sys.nodes[0]
+            .page_table
+            .translate(shared_vpage)
+            .expect("shared page mapped")
+            .target_page;
+        assert_eq!(npa, crate::node::FAM_ZONE_PAGE, "reserved window base");
+    }
+}

@@ -1,0 +1,240 @@
+//! Fabric interconnect model for the DeACT reproduction.
+//!
+//! The paper models the Gen-Z-style fabric as a fixed-latency network
+//! (500 ns in Table II, swept from 100 ns to 6 µs in Fig. 15) shared by
+//! every node attached to a FAM pool. This crate provides:
+//!
+//! * [`Fabric`] — per-node access links plus a shared trunk into the
+//!   FAM pool, each modelled as a contended resource, so the Fig. 16
+//!   node-count sweep sees queueing as more nodes share the fabric.
+//! * [`packet`] — the wire format of memory-semantic requests,
+//!   including the `V` (verified) flag DeACT adds to request packets
+//!   (§III-C), encoded with a real serializer so the flag has a
+//!   concrete bit position.
+//!
+//! # Examples
+//!
+//! ```
+//! use fam_fabric::{Fabric, FabricConfig};
+//! use fam_sim::{Cycle, Frequency};
+//!
+//! let mut fabric = Fabric::new(Frequency::ghz(2), FabricConfig::default(), 1);
+//! let arrival = fabric.node_to_fam(Cycle(0), 0);
+//! assert_eq!(arrival, Cycle(1000)); // 500 ns at 2 GHz
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod packet;
+
+use fam_sim::stats::Counter;
+use fam_sim::{Cycle, Duration, Frequency, Resource};
+use serde::{Deserialize, Serialize};
+
+/// Fabric timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// One-way traversal latency in nanoseconds (paper default:
+    /// 500 ns; Fig. 15 sweeps 100 ns – 6 µs).
+    pub latency_ns: u64,
+    /// Cycles a node's access link is occupied per 64-byte flit.
+    pub link_occupancy_cycles: u64,
+    /// Cycles the shared trunk into the FAM pool is occupied per flit;
+    /// this is the resource nodes contend on in the Fig. 16 sweep.
+    pub trunk_occupancy_cycles: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> FabricConfig {
+        FabricConfig {
+            latency_ns: 500,
+            link_occupancy_cycles: 4,
+            trunk_occupancy_cycles: 2,
+        }
+    }
+}
+
+/// The system fabric connecting `nodes` compute nodes to the FAM pool.
+///
+/// A traversal claims the node's private access link, then the shared
+/// trunk, then completes one traversal latency later. Responses take
+/// the same path in reverse; both directions share the same resources,
+/// which is how contention grows with node count.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    latency: Duration,
+    links: Vec<Resource>,
+    trunk: Resource,
+    traversals: Counter,
+    config: FabricConfig,
+    freq: Frequency,
+}
+
+impl Fabric {
+    /// Creates a fabric for `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(freq: Frequency, config: FabricConfig, nodes: usize) -> Fabric {
+        assert!(nodes > 0, "fabric needs at least one node");
+        Fabric {
+            latency: freq.ns_to_cycles(config.latency_ns),
+            links: (0..nodes)
+                .map(|_| Resource::new(config.link_occupancy_cycles))
+                .collect(),
+            trunk: Resource::new(config.trunk_occupancy_cycles),
+            traversals: Counter::new(),
+            config,
+            freq,
+        }
+    }
+
+    fn traverse(&mut self, now: Cycle, node: usize, flits: u64) -> Cycle {
+        assert!(node < self.links.len(), "unknown node {node}");
+        self.traversals.inc();
+        let flits = flits.max(1);
+        let link_occ = Duration(self.config.link_occupancy_cycles).times(flits);
+        let trunk_occ = Duration(self.config.trunk_occupancy_cycles).times(flits);
+        let on_link = self.links[node].acquire_for(now, link_occ);
+        let on_trunk = self.trunk.acquire_for(on_link, trunk_occ);
+        on_trunk + self.latency
+    }
+
+    /// A single-flit request from `node` to the FAM side; returns the
+    /// arrival time.
+    pub fn node_to_fam(&mut self, now: Cycle, node: usize) -> Cycle {
+        self.traverse(now, node, 1)
+    }
+
+    /// A response (or any transfer) from the FAM side back to `node`;
+    /// `bytes` sizes the transfer (rounded up to 64-byte flits).
+    pub fn fam_to_node(&mut self, now: Cycle, node: usize, bytes: u64) -> Cycle {
+        self.traverse(now, node, bytes.div_ceil(64))
+    }
+
+    /// Round trip: request to FAM plus `response_bytes` back, with
+    /// `service` cycles spent at the FAM side in between.
+    pub fn round_trip(
+        &mut self,
+        now: Cycle,
+        node: usize,
+        service: Duration,
+        response_bytes: u64,
+    ) -> Cycle {
+        let there = self.node_to_fam(now, node);
+        self.fam_to_node(there + service, node, response_bytes)
+    }
+
+    /// One-way traversal latency in cycles.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    /// Total traversals in both directions.
+    pub fn traversals(&self) -> u64 {
+        self.traversals.value()
+    }
+
+    /// Number of attached nodes.
+    pub fn nodes(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The configuration this fabric was built with.
+    pub fn config(&self) -> FabricConfig {
+        self.config
+    }
+
+    /// The core frequency used for latency conversion.
+    pub fn frequency(&self) -> Frequency {
+        self.freq
+    }
+
+    /// Resets contention timelines and statistics.
+    pub fn reset(&mut self) {
+        for l in &mut self.links {
+            l.reset();
+        }
+        self.trunk.reset();
+        self.traversals.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(nodes: usize) -> Fabric {
+        Fabric::new(Frequency::ghz(2), FabricConfig::default(), nodes)
+    }
+
+    #[test]
+    fn one_way_latency_matches_config() {
+        let mut f = fabric(2);
+        assert_eq!(f.node_to_fam(Cycle(0), 0), Cycle(1000));
+        assert_eq!(f.latency(), Duration(1000));
+    }
+
+    #[test]
+    fn per_node_links_are_private() {
+        let mut f = fabric(2);
+        let a = f.node_to_fam(Cycle(0), 0);
+        let b = f.node_to_fam(Cycle(0), 1);
+        // Node 1 only waits behind node 0 on the shared trunk.
+        assert_eq!(a, Cycle(1000));
+        assert!(b > a && b < Cycle(1010), "trunk-only queueing: got {b:?}");
+    }
+
+    #[test]
+    fn same_node_requests_queue_on_link() {
+        let mut f = fabric(1);
+        let a = f.node_to_fam(Cycle(0), 0);
+        let b = f.node_to_fam(Cycle(0), 0);
+        assert!(b >= a + Duration(4), "second flit waits for the link");
+    }
+
+    #[test]
+    fn large_response_occupies_longer() {
+        let mut f = fabric(1);
+        f.fam_to_node(Cycle(0), 0, 4096); // 64 flits
+        let next = f.node_to_fam(Cycle(0), 0);
+        assert!(next > Cycle(1200), "link busy for 64 flits: {next:?}");
+    }
+
+    #[test]
+    fn round_trip_includes_service_time() {
+        let mut f = fabric(1);
+        let done = f.round_trip(Cycle(0), 0, Duration(120), 64);
+        // 1000 there + 120 service + 1000 back, plus occupancies.
+        assert!(done >= Cycle(2120));
+        assert!(done < Cycle(2200));
+        assert_eq!(f.traversals(), 2);
+    }
+
+    #[test]
+    fn sweeping_latency_changes_traversal() {
+        let cfg = FabricConfig {
+            latency_ns: 6000,
+            ..FabricConfig::default()
+        };
+        let mut f = Fabric::new(Frequency::ghz(2), cfg, 1);
+        assert_eq!(f.node_to_fam(Cycle(0), 0), Cycle(12000));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn out_of_range_node_rejected() {
+        fabric(1).node_to_fam(Cycle(0), 5);
+    }
+
+    #[test]
+    fn reset_clears_contention() {
+        let mut f = fabric(1);
+        f.node_to_fam(Cycle(0), 0);
+        f.reset();
+        assert_eq!(f.traversals(), 0);
+        assert_eq!(f.node_to_fam(Cycle(0), 0), Cycle(1000));
+    }
+}

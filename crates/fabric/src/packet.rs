@@ -1,0 +1,230 @@
+//! Wire format of memory-semantic fabric packets.
+//!
+//! DeACT extends the request packet with a verification (`V`) flag so
+//! the STU can tell pre-translated requests (verify-only) from
+//! untranslated ones (walk-needed) — §III-C, "Handling Translation
+//! Misses". Giving the packet a real wire encoding pins down that the
+//! flag costs one bit, and lets tests assert the STU dispatches on it.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fam_vm::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// What a fabric packet asks the FAM side to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// A data read of one 64-byte block.
+    Read,
+    /// A data write of one 64-byte block.
+    Write,
+    /// A translation-service request (the STU walks on our behalf).
+    TranslationRequest,
+    /// A translation-service response carrying a mapping.
+    TranslationResponse,
+}
+
+impl PacketKind {
+    fn code(self) -> u8 {
+        match self {
+            PacketKind::Read => 0,
+            PacketKind::Write => 1,
+            PacketKind::TranslationRequest => 2,
+            PacketKind::TranslationResponse => 3,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<PacketKind> {
+        Some(match c {
+            0 => PacketKind::Read,
+            1 => PacketKind::Write,
+            2 => PacketKind::TranslationRequest,
+            3 => PacketKind::TranslationResponse,
+            _ => return None,
+        })
+    }
+}
+
+/// A memory-semantic request packet as it crosses the fabric.
+///
+/// `verified` is DeACT's `V` flag: set by the FAM translator when
+/// `addr` is already a FAM address that only needs access-control
+/// verification; clear when `addr` is a node address the STU must
+/// translate.
+///
+/// # Examples
+///
+/// ```
+/// use fam_fabric::packet::{Packet, PacketKind};
+/// use fam_vm::NodeId;
+///
+/// let p = Packet {
+///     kind: PacketKind::Read,
+///     source: NodeId::new(3),
+///     addr: 0xABCD,
+///     verified: true,
+///     tag: 17,
+/// };
+/// let decoded = Packet::decode(p.encode()).unwrap();
+/// assert_eq!(decoded, p);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Operation requested.
+    pub kind: PacketKind,
+    /// Requesting node (used by the STU for access control).
+    pub source: NodeId,
+    /// Target address: a FAM address when `verified`, otherwise a node
+    /// physical address.
+    pub addr: u64,
+    /// DeACT's `V` flag.
+    pub verified: bool,
+    /// Request tag matching responses to the outstanding-mapping list.
+    pub tag: u16,
+}
+
+/// Errors decoding a wire packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodePacketError {
+    /// The buffer is shorter than a packet header.
+    Truncated,
+    /// The kind byte is not a known packet kind.
+    UnknownKind(u8),
+    /// The node-id field holds the reserved shared marker or worse.
+    BadNodeId(u16),
+}
+
+impl std::fmt::Display for DecodePacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodePacketError::Truncated => write!(f, "packet truncated"),
+            DecodePacketError::UnknownKind(c) => write!(f, "unknown packet kind {c}"),
+            DecodePacketError::BadNodeId(n) => write!(f, "invalid node id {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodePacketError {}
+
+/// Encoded packet size in bytes: kind(1) + flags(1) + node(2) + tag(2)
+/// + addr(8).
+pub const PACKET_BYTES: usize = 14;
+
+impl Packet {
+    /// Serializes the packet to its wire form.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(PACKET_BYTES);
+        buf.put_u8(self.kind.code());
+        buf.put_u8(self.verified as u8);
+        buf.put_u16(self.source.raw());
+        buf.put_u16(self.tag);
+        buf.put_u64(self.addr);
+        buf.freeze()
+    }
+
+    /// Parses a packet from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodePacketError`] if the buffer is truncated or any
+    /// field is out of range.
+    pub fn decode(mut wire: Bytes) -> Result<Packet, DecodePacketError> {
+        if wire.len() < PACKET_BYTES {
+            return Err(DecodePacketError::Truncated);
+        }
+        let kind_code = wire.get_u8();
+        let kind =
+            PacketKind::from_code(kind_code).ok_or(DecodePacketError::UnknownKind(kind_code))?;
+        let verified = wire.get_u8() != 0;
+        let raw_node = wire.get_u16();
+        if raw_node >= NodeId::SHARED_MARKER {
+            return Err(DecodePacketError::BadNodeId(raw_node));
+        }
+        let source = NodeId::new(raw_node);
+        let tag = wire.get_u16();
+        let addr = wire.get_u64();
+        Ok(Packet {
+            kind,
+            source,
+            addr,
+            verified,
+            tag,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: PacketKind, verified: bool) -> Packet {
+        Packet {
+            kind,
+            source: NodeId::new(5),
+            addr: 0xDEAD_BEEF_0000,
+            verified,
+            tag: 42,
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for kind in [
+            PacketKind::Read,
+            PacketKind::Write,
+            PacketKind::TranslationRequest,
+            PacketKind::TranslationResponse,
+        ] {
+            for verified in [false, true] {
+                let p = sample(kind, verified);
+                assert_eq!(Packet::decode(p.encode()).unwrap(), p);
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_size_is_fixed() {
+        assert_eq!(sample(PacketKind::Read, true).encode().len(), PACKET_BYTES);
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let mut wire = sample(PacketKind::Read, true).encode();
+        let short = wire.split_to(PACKET_BYTES - 1);
+        assert_eq!(Packet::decode(short), Err(DecodePacketError::Truncated));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut raw = BytesMut::from(&sample(PacketKind::Read, true).encode()[..]);
+        raw[0] = 0xFF;
+        assert_eq!(
+            Packet::decode(raw.freeze()),
+            Err(DecodePacketError::UnknownKind(0xFF))
+        );
+    }
+
+    #[test]
+    fn bad_node_id_rejected() {
+        let mut raw = BytesMut::from(&sample(PacketKind::Read, true).encode()[..]);
+        raw[2] = 0x3F;
+        raw[3] = 0xFF; // node id 0x3FFF = shared marker
+        assert_eq!(
+            Packet::decode(raw.freeze()),
+            Err(DecodePacketError::BadNodeId(0x3FFF))
+        );
+    }
+
+    #[test]
+    fn v_flag_has_a_wire_bit() {
+        let set = sample(PacketKind::Read, true).encode();
+        let clear = sample(PacketKind::Read, false).encode();
+        assert_eq!(set[1], 1);
+        assert_eq!(clear[1], 0);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!DecodePacketError::Truncated.to_string().is_empty());
+        assert!(DecodePacketError::UnknownKind(9).to_string().contains('9'));
+    }
+}

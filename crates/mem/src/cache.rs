@@ -1,0 +1,471 @@
+//! A generic set-associative cache.
+
+use fam_sim::stats::Ratio;
+use fam_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Replacement policy for a [`SetAssocCache`].
+///
+/// The paper's data caches and TLBs use LRU (Table II); the in-DRAM FAM
+/// translation cache uses random replacement because tracking recency
+/// would require extra DRAM writes (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Replacement {
+    /// Evict the least-recently-used way.
+    Lru,
+    /// Evict a uniformly random way.
+    Random,
+}
+
+/// Geometry and policy of a [`SetAssocCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of sets (must be non-zero).
+    pub sets: usize,
+    /// Ways per set (must be non-zero).
+    pub ways: usize,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize, replacement: Replacement) -> CacheConfig {
+        assert!(sets > 0, "cache needs at least one set");
+        assert!(ways > 0, "cache needs at least one way");
+        CacheConfig {
+            sets,
+            ways,
+            replacement,
+        }
+    }
+
+    /// Total entry capacity.
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Convenience: geometry for a data cache of `capacity_bytes` with
+    /// 64-byte blocks and the given associativity, LRU replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not an exact multiple of
+    /// `64 * ways`.
+    pub fn data_cache(capacity_bytes: u64, ways: usize) -> CacheConfig {
+        let blocks = capacity_bytes / crate::BLOCK_BYTES;
+        assert_eq!(
+            capacity_bytes % (crate::BLOCK_BYTES * ways as u64),
+            0,
+            "capacity must divide evenly into sets"
+        );
+        CacheConfig::new((blocks / ways as u64) as usize, ways, Replacement::Lru)
+    }
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome<V = ()> {
+    /// Whether the key was present.
+    pub hit: bool,
+    /// The key (with its value) evicted to make room, if any.
+    pub evicted: Option<(u64, V)>,
+}
+
+#[derive(Debug, Clone)]
+struct Way<V> {
+    key: u64,
+    value: V,
+    /// Recency stamp; larger is more recent.
+    stamp: u64,
+}
+
+/// A set-associative cache mapping `u64` keys to values, with hit/miss
+/// statistics.
+///
+/// Keys are full addresses or page numbers; the set index is
+/// `key % sets` and the full key is stored as the tag, so there are no
+/// aliasing artifacts regardless of geometry.
+///
+/// This single structure backs the data caches, TLBs, PTW caches, the
+/// STU cache organisations and the in-DRAM FAM translation cache, each
+/// with its own geometry and value type.
+///
+/// # Examples
+///
+/// ```
+/// use fam_mem::{CacheConfig, Replacement, SetAssocCache};
+///
+/// let mut tlb: SetAssocCache<u64> =
+///     SetAssocCache::new(CacheConfig::new(16, 2, Replacement::Lru));
+/// tlb.insert(0x42, 0x99);
+/// assert_eq!(tlb.get(0x42), Some(&0x99));
+/// assert_eq!(tlb.stats().hits(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<V = ()> {
+    config: CacheConfig,
+    sets: Vec<Vec<Way<V>>>,
+    clock: u64,
+    stats: Ratio,
+    rng: SimRng,
+}
+
+impl<V> SetAssocCache<V> {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> SetAssocCache<V> {
+        SetAssocCache::with_seed(config, 0xCACE)
+    }
+
+    /// Creates an empty cache with an explicit RNG seed (relevant only
+    /// for [`Replacement::Random`]).
+    pub fn with_seed(config: CacheConfig, seed: u64) -> SetAssocCache<V> {
+        SetAssocCache {
+            config,
+            sets: (0..config.sets).map(|_| Vec::new()).collect(),
+            clock: 0,
+            stats: Ratio::new(),
+            rng: SimRng::seeded(seed),
+        }
+    }
+
+    fn set_index(&self, key: u64) -> usize {
+        (key % self.config.sets as u64) as usize
+    }
+
+    /// Looks up `key`, updating recency and hit/miss statistics, and
+    /// returns a reference to its value if present.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(key);
+        let set = &mut self.sets[idx];
+        if let Some(way) = set.iter_mut().find(|w| w.key == key) {
+            way.stamp = clock;
+            self.stats.hit();
+            Some(&way.value)
+        } else {
+            self.stats.miss();
+            None
+        }
+    }
+
+    /// Looks up `key` and returns a mutable reference to its value,
+    /// updating recency and statistics.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(key);
+        let set = &mut self.sets[idx];
+        let found = set.iter_mut().find(|w| w.key == key);
+        match found {
+            Some(way) => {
+                way.stamp = clock;
+                self.stats.hit();
+                Some(&mut way.value)
+            }
+            None => {
+                self.stats.miss();
+                None
+            }
+        }
+    }
+
+    /// Checks for `key` without updating recency or statistics.
+    pub fn probe(&self, key: u64) -> bool {
+        self.sets[self.set_index(key)].iter().any(|w| w.key == key)
+    }
+
+    /// Mutable access to `key`'s value without touching recency or
+    /// hit/miss statistics — for metadata maintenance (e.g. a dirty
+    /// bit propagated by an outer cache level) that is not a real
+    /// access.
+    pub fn peek_mut(&mut self, key: u64) -> Option<&mut V> {
+        let idx = self.set_index(key);
+        self.sets[idx]
+            .iter_mut()
+            .find(|w| w.key == key)
+            .map(|w| &mut w.value)
+    }
+
+    /// Inserts `key → value`, evicting if the set is full. Returns the
+    /// evicted entry, if any. Re-inserting an existing key replaces its
+    /// value and refreshes recency without eviction.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<(u64, V)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.config.ways;
+        let replacement = self.config.replacement;
+        let idx = self.set_index(key);
+
+        if let Some(way) = self.sets[idx].iter_mut().find(|w| w.key == key) {
+            way.value = value;
+            way.stamp = clock;
+            return None;
+        }
+        if self.sets[idx].len() < ways {
+            self.sets[idx].push(Way {
+                key,
+                value,
+                stamp: clock,
+            });
+            return None;
+        }
+        let victim = match replacement {
+            Replacement::Lru => self.sets[idx]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .map(|(i, _)| i)
+                .expect("set is full, so non-empty"),
+            Replacement::Random => self.rng.index(ways),
+        };
+        let old = std::mem::replace(
+            &mut self.sets[idx][victim],
+            Way {
+                key,
+                value,
+                stamp: clock,
+            },
+        );
+        Some((old.key, old.value))
+    }
+
+    /// Removes `key` if present, returning its value.
+    pub fn invalidate(&mut self, key: u64) -> Option<V> {
+        let idx = self.set_index(key);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|w| w.key == key)?;
+        Some(set.swap_remove(pos).value)
+    }
+
+    /// Removes every entry whose key satisfies `pred`, returning how
+    /// many were removed. Used for shootdowns (page migration, §VI).
+    pub fn invalidate_matching(&mut self, mut pred: impl FnMut(u64) -> bool) -> usize {
+        let mut removed = 0;
+        for set in &mut self.sets {
+            let before = set.len();
+            set.retain(|w| !pred(w.key));
+            removed += before - set.len();
+        }
+        removed
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss statistics accumulated by `get`/`get_mut`/`access`.
+    pub fn stats(&self) -> Ratio {
+        self.stats
+    }
+
+    /// Resets statistics (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Drops all entries and statistics.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.stats.reset();
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Iterates over `(key, &value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.sets.iter().flatten().map(|w| (w.key, &w.value))
+    }
+}
+
+impl<V: Clone> SetAssocCache<V> {
+    /// Access `key`; on miss, insert the value produced by `fill`.
+    /// Returns the outcome (hit flag plus any eviction).
+    pub fn access_with(&mut self, key: u64, fill: impl FnOnce() -> V) -> AccessOutcome<V> {
+        if self.get(key).is_some() {
+            AccessOutcome {
+                hit: true,
+                evicted: None,
+            }
+        } else {
+            let evicted = self.insert(key, fill());
+            AccessOutcome {
+                hit: false,
+                evicted,
+            }
+        }
+    }
+}
+
+impl SetAssocCache<()> {
+    /// Access `key` in a unit-valued cache, filling on miss.
+    pub fn access(&mut self, key: u64) -> AccessOutcome<()> {
+        self.access_with(key, || ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ways: usize, replacement: Replacement) -> SetAssocCache<u32> {
+        SetAssocCache::new(CacheConfig::new(1, ways, replacement))
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny(2, Replacement::Lru);
+        c.insert(1, 10);
+        assert_eq!(c.get(1), Some(&10));
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.stats().hits(), 1);
+        assert_eq!(c.stats().misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(2, Replacement::Lru);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.get(1); // 2 is now LRU
+        let evicted = c.insert(3, 30);
+        assert_eq!(evicted, Some((2, 20)));
+        assert!(c.probe(1));
+        assert!(c.probe(3));
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut c = tiny(2, Replacement::Lru);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.insert(1, 11), None);
+        assert_eq!(c.get(1), Some(&11));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn random_replacement_evicts_someone() {
+        let mut c = tiny(4, Replacement::Random);
+        for k in 0..4 {
+            c.insert(k, k as u32);
+        }
+        let evicted = c.insert(99, 99);
+        assert!(evicted.is_some());
+        assert_eq!(c.len(), 4);
+        assert!(c.probe(99));
+    }
+
+    #[test]
+    fn set_indexing_separates_keys() {
+        let mut c: SetAssocCache<u32> =
+            SetAssocCache::new(CacheConfig::new(4, 1, Replacement::Lru));
+        // Keys 0..4 land in distinct sets; no evictions.
+        for k in 0..4 {
+            assert_eq!(c.insert(k, 0), None);
+        }
+        // Key 4 collides with key 0 (4 % 4 == 0).
+        assert_eq!(c.insert(4, 0), Some((0, 0)));
+    }
+
+    #[test]
+    fn probe_does_not_affect_stats_or_recency() {
+        let mut c = tiny(2, Replacement::Lru);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(c.probe(1));
+        assert_eq!(c.stats().total(), 0);
+        // Recency untouched: 1 is still LRU, gets evicted.
+        assert_eq!(c.insert(3, 30), Some((1, 10)));
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let mut c = tiny(2, Replacement::Lru);
+        c.insert(1, 10);
+        assert_eq!(c.invalidate(1), Some(10));
+        assert_eq!(c.invalidate(1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalidate_matching_sweeps() {
+        let mut c: SetAssocCache<u32> =
+            SetAssocCache::new(CacheConfig::new(8, 2, Replacement::Lru));
+        for k in 0..16 {
+            c.insert(k, 0);
+        }
+        let removed = c.invalidate_matching(|k| k % 2 == 0);
+        assert_eq!(removed, 8);
+        assert_eq!(c.len(), 8);
+        assert!(c.iter().all(|(k, _)| k % 2 == 1));
+    }
+
+    #[test]
+    fn access_with_fills_on_miss() {
+        let mut c = tiny(2, Replacement::Lru);
+        let out = c.access_with(5, || 50);
+        assert!(!out.hit);
+        let out = c.access_with(5, || 99);
+        assert!(out.hit);
+        assert_eq!(c.get(5), Some(&50), "fill only runs on miss");
+    }
+
+    #[test]
+    fn unit_cache_access() {
+        let mut c = SetAssocCache::new(CacheConfig::new(2, 2, Replacement::Lru));
+        assert!(!c.access(7).hit);
+        assert!(c.access(7).hit);
+    }
+
+    #[test]
+    fn data_cache_geometry() {
+        // 32 KB, 8-way, 64 B blocks -> 64 sets.
+        let cfg = CacheConfig::data_cache(32 * 1024, 8);
+        assert_eq!(cfg.sets, 64);
+        assert_eq!(cfg.ways, 8);
+        assert_eq!(cfg.entries(), 512);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = tiny(2, Replacement::Lru);
+        c.insert(1, 10);
+        c.get(1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_rejected() {
+        let _ = CacheConfig::new(1, 0, Replacement::Lru);
+    }
+
+    #[test]
+    fn get_mut_allows_in_place_update() {
+        let mut c = tiny(2, Replacement::Lru);
+        c.insert(1, 10);
+        if let Some(v) = c.get_mut(1) {
+            *v = 42;
+        }
+        assert_eq!(c.get(1), Some(&42));
+    }
+}

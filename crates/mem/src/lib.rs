@@ -1,0 +1,52 @@
+//! Memory substrate for the DeACT reproduction.
+//!
+//! Provides the node-side memory system the paper configures in
+//! Table II:
+//!
+//! * [`SetAssocCache`] — a generic set-associative cache with LRU or
+//!   random replacement, reused for data caches, TLBs, page-table-walk
+//!   caches and the STU cache organisations.
+//! * [`CacheHierarchy`] — private L1/L2 per core plus a shared,
+//!   inclusive L3 (32 KB / 256 KB / 1 MB, 64 B blocks, LRU).
+//! * [`DramModel`] — the 1 GB local DRAM with a contended channel.
+//! * [`NvmModel`] — the 16 GB fabric-attached NVM: 32 banks, 60 ns
+//!   reads, 150 ns writes, at most 128 outstanding requests.
+//!
+//! # Examples
+//!
+//! ```
+//! use fam_mem::{CacheConfig, Replacement, SetAssocCache};
+//!
+//! let mut l1 = SetAssocCache::new(CacheConfig::new(64, 8, Replacement::Lru));
+//! assert!(!l1.access(0x1000).hit);
+//! assert!(l1.access(0x1000).hit);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod dram;
+mod hierarchy;
+mod nvm;
+
+pub use cache::{AccessOutcome, CacheConfig, Replacement, SetAssocCache};
+pub use dram::DramModel;
+pub use hierarchy::{CacheHierarchy, HierarchyConfig, HitLevel, LookupResult};
+pub use nvm::{MemOpKind, NvmConfig, NvmModel};
+
+/// Cache block (line) size used throughout the paper: 64 bytes.
+pub const BLOCK_BYTES: u64 = 64;
+
+/// Converts a byte address to its cache-line address.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(fam_mem::line_of(0), 0);
+/// assert_eq!(fam_mem::line_of(63), 0);
+/// assert_eq!(fam_mem::line_of(64), 1);
+/// ```
+pub fn line_of(byte_addr: u64) -> u64 {
+    byte_addr / BLOCK_BYTES
+}

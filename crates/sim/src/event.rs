@@ -1,0 +1,178 @@
+//! A deterministic timestamped event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// A priority queue of `(Cycle, T)` events ordered by time, with FIFO
+/// ordering among events scheduled for the same cycle.
+///
+/// Determinism matters: the whole reproduction is seeded, and a heap
+/// that broke ties arbitrarily would make runs non-reproducible. Each
+/// pushed event receives a monotonically increasing sequence number
+/// that breaks timestamp ties.
+///
+/// # Examples
+///
+/// ```
+/// use fam_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle(5), "b");
+/// q.push(Cycle(1), "a");
+/// q.push(Cycle(5), "c");
+/// assert_eq!(q.pop(), Some((Cycle(1), "a")));
+/// assert_eq!(q.pop(), Some((Cycle(5), "b"))); // FIFO among ties
+/// assert_eq!(q.pop(), Some((Cycle(5), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    at: Cycle,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event (and
+        // lowest sequence number among ties) surfaces first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`.
+    pub fn push(&mut self, at: Cycle, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> EventQueue<T> {
+        EventQueue::new()
+    }
+}
+
+impl<T> Extend<(Cycle, T)> for EventQueue<T> {
+    fn extend<I: IntoIterator<Item = (Cycle, T)>>(&mut self, iter: I) {
+        for (at, payload) in iter {
+            self.push(at, payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(30), 3);
+        q.push(Cycle(10), 1);
+        q.push(Cycle(20), 2);
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle(30), 3)));
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle(7), i)));
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Cycle(9), ());
+        q.push(Cycle(4), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Cycle(4)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(Cycle(9)));
+    }
+
+    #[test]
+    fn extend_pushes_all() {
+        let mut q = EventQueue::new();
+        q.extend([(Cycle(2), 'b'), (Cycle(1), 'a')]);
+        assert_eq!(q.pop(), Some((Cycle(1), 'a')));
+        assert_eq!(q.pop(), Some((Cycle(2), 'b')));
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(5), "e1");
+        q.push(Cycle(3), "e2");
+        assert_eq!(q.pop(), Some((Cycle(3), "e2")));
+        q.push(Cycle(4), "e3");
+        q.push(Cycle(5), "e4");
+        assert_eq!(q.pop(), Some((Cycle(4), "e3")));
+        assert_eq!(q.pop(), Some((Cycle(5), "e1")));
+        assert_eq!(q.pop(), Some((Cycle(5), "e4")));
+    }
+}

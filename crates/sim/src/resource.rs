@@ -1,0 +1,283 @@
+//! Contended hardware resources modelled as busy-interval timelines.
+
+use std::collections::VecDeque;
+
+use crate::{Cycle, Duration};
+
+/// Upper bound on retained busy intervals; older intervals are
+/// forgotten (treated as free), bounding memory for long runs.
+const MAX_INTERVALS: usize = 256;
+
+/// A serially-occupied hardware unit: a DRAM channel, a fabric link, an
+/// STU lookup port.
+///
+/// A request arriving at time `t` is *backfilled* into the earliest gap
+/// of length `occupancy` at or after `t` in the resource's busy
+/// timeline. Unlike a single `next_free` cursor, this tolerates
+/// requests arriving out of simulated-time order — which path-oriented
+/// simulation produces constantly (a multi-hop operation acquires
+/// downstream resources at future times; the next operation's upstream
+/// acquisition happens earlier). A future-time request must not block
+/// an earlier one.
+///
+/// # Examples
+///
+/// ```
+/// use fam_sim::{Cycle, Resource};
+///
+/// let mut link = Resource::new(4);
+/// assert_eq!(link.acquire(Cycle(100)), Cycle(100)); // future request
+/// // An earlier arrival backfills in front of it.
+/// assert_eq!(link.acquire(Cycle(0)), Cycle(0));
+/// // Contention still queues: same-time requests serialize.
+/// assert_eq!(link.acquire(Cycle(0)), Cycle(4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Resource {
+    occupancy: Duration,
+    /// Sorted, non-overlapping (start, end) busy intervals.
+    intervals: VecDeque<(u64, u64)>,
+    busy: Duration,
+    requests: u64,
+}
+
+impl Resource {
+    /// Creates a resource that is busy for `occupancy` cycles per request.
+    pub fn new(occupancy: u64) -> Resource {
+        Resource {
+            occupancy: Duration(occupancy),
+            intervals: VecDeque::new(),
+            busy: Duration::ZERO,
+            requests: 0,
+        }
+    }
+
+    /// Claims the resource for one request arriving at `now`; returns
+    /// the cycle at which service begins.
+    pub fn acquire(&mut self, now: Cycle) -> Cycle {
+        self.acquire_for(now, self.occupancy)
+    }
+
+    /// Claims the resource for a request with a non-default occupancy
+    /// (e.g. a larger packet on a link).
+    pub fn acquire_for(&mut self, now: Cycle, occupancy: Duration) -> Cycle {
+        self.requests += 1;
+        self.busy += occupancy;
+        if occupancy.0 == 0 {
+            return now;
+        }
+        let mut start = now.0;
+        // First interval that ends after our candidate start.
+        let mut idx = self.intervals.partition_point(|&(_, end)| end <= start);
+        loop {
+            let next_busy_start = self.intervals.get(idx).map(|&(s, _)| s).unwrap_or(u64::MAX);
+            if start.saturating_add(occupancy.0) <= next_busy_start {
+                self.intervals.insert(idx, (start, start + occupancy.0));
+                break;
+            }
+            start = self.intervals[idx].1;
+            idx += 1;
+        }
+        while self.intervals.len() > MAX_INTERVALS {
+            self.intervals.pop_front();
+        }
+        Cycle(start)
+    }
+
+    /// The end of the latest busy interval (the resource is certainly
+    /// free after this point).
+    pub fn next_free(&self) -> Cycle {
+        Cycle(self.intervals.back().map(|&(_, e)| e).unwrap_or(0))
+    }
+
+    /// Total cycles this resource has been occupied.
+    pub fn busy_cycles(&self) -> Duration {
+        self.busy
+    }
+
+    /// Total requests serviced.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// The configured default occupancy per request.
+    pub fn occupancy(&self) -> Duration {
+        self.occupancy
+    }
+
+    /// Resets the timeline and statistics, keeping the occupancy.
+    pub fn reset(&mut self) {
+        self.intervals.clear();
+        self.busy = Duration::ZERO;
+        self.requests = 0;
+    }
+}
+
+/// A set of independently-occupied banks addressed by an interleaving
+/// function — the FAM NVM's 32 banks in the paper (Table II).
+///
+/// Each bank is its own [`Resource`]; consecutive cache blocks map to
+/// consecutive banks so streaming traffic spreads across the device.
+///
+/// # Examples
+///
+/// ```
+/// use fam_sim::{BankedResource, Cycle};
+///
+/// let mut nvm = BankedResource::new(4, 100);
+/// // Two requests to different banks proceed in parallel...
+/// assert_eq!(nvm.acquire(Cycle(0), 0), Cycle(0));
+/// assert_eq!(nvm.acquire(Cycle(0), 1), Cycle(0));
+/// // ...but a second request to bank 0 queues.
+/// assert_eq!(nvm.acquire(Cycle(0), 4), Cycle(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BankedResource {
+    banks: Vec<Resource>,
+}
+
+impl BankedResource {
+    /// Creates `banks` banks, each busy `occupancy` cycles per request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn new(banks: usize, occupancy: u64) -> BankedResource {
+        assert!(banks > 0, "need at least one bank");
+        BankedResource {
+            banks: vec![Resource::new(occupancy); banks],
+        }
+    }
+
+    /// Claims the bank selected by `interleave_key % banks` for a
+    /// request arriving at `now`; returns the service start time.
+    pub fn acquire(&mut self, now: Cycle, interleave_key: u64) -> Cycle {
+        let idx = (interleave_key % self.banks.len() as u64) as usize;
+        self.banks[idx].acquire(now)
+    }
+
+    /// As [`BankedResource::acquire`] with an explicit occupancy.
+    pub fn acquire_for(&mut self, now: Cycle, interleave_key: u64, occupancy: Duration) -> Cycle {
+        let idx = (interleave_key % self.banks.len() as u64) as usize;
+        self.banks[idx].acquire_for(now, occupancy)
+    }
+
+    /// Number of banks.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Total requests across all banks.
+    pub fn requests(&self) -> u64 {
+        self.banks.iter().map(Resource::requests).sum()
+    }
+
+    /// Total busy cycles across all banks.
+    pub fn busy_cycles(&self) -> Duration {
+        self.banks.iter().map(Resource::busy_cycles).sum()
+    }
+
+    /// Resets every bank's timeline and statistics.
+    pub fn reset(&mut self) {
+        for b in &mut self.banks {
+            b.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_requests_queue() {
+        let mut r = Resource::new(10);
+        assert_eq!(r.acquire(Cycle(0)), Cycle(0));
+        assert_eq!(r.acquire(Cycle(0)), Cycle(10));
+        assert_eq!(r.acquire(Cycle(5)), Cycle(20));
+        assert_eq!(r.requests(), 3);
+        assert_eq!(r.busy_cycles(), Duration(30));
+    }
+
+    #[test]
+    fn idle_resource_starts_immediately() {
+        let mut r = Resource::new(10);
+        r.acquire(Cycle(0));
+        assert_eq!(r.acquire(Cycle(1000)), Cycle(1000));
+    }
+
+    #[test]
+    fn earlier_arrival_backfills_before_future_reservation() {
+        let mut r = Resource::new(10);
+        assert_eq!(r.acquire(Cycle(5000)), Cycle(5000));
+        // A request arriving earlier is not blocked by the future one.
+        assert_eq!(r.acquire(Cycle(0)), Cycle(0));
+        // A gap-sized request fits between the two.
+        assert_eq!(r.acquire(Cycle(2000)), Cycle(2000));
+        // But a request overlapping the future interval queues behind it.
+        assert_eq!(r.acquire(Cycle(4995)), Cycle(5010));
+    }
+
+    #[test]
+    fn backfill_respects_gap_size() {
+        let mut r = Resource::new(10);
+        r.acquire(Cycle(0)); // busy [0,10)
+        r.acquire(Cycle(15)); // busy [15,25)
+                              // A 10-cycle job arriving at 8 does not fit in the 5-cycle gap.
+        assert_eq!(r.acquire(Cycle(8)), Cycle(25));
+        // But one arriving at 25+ starts immediately after.
+        assert_eq!(r.acquire(Cycle(40)), Cycle(40));
+    }
+
+    #[test]
+    fn acquire_for_custom_occupancy() {
+        let mut r = Resource::new(10);
+        assert_eq!(r.acquire_for(Cycle(0), Duration(3)), Cycle(0));
+        assert_eq!(r.next_free(), Cycle(3));
+        assert_eq!(r.busy_cycles(), Duration(3));
+    }
+
+    #[test]
+    fn zero_occupancy_is_free() {
+        let mut r = Resource::new(0);
+        assert_eq!(r.acquire(Cycle(7)), Cycle(7));
+        assert_eq!(r.acquire(Cycle(7)), Cycle(7));
+        assert_eq!(r.busy_cycles(), Duration::ZERO);
+    }
+
+    #[test]
+    fn interval_pruning_bounds_memory() {
+        let mut r = Resource::new(1);
+        for i in 0..10_000u64 {
+            // Disjoint intervals so nothing merges.
+            r.acquire(Cycle(i * 10));
+        }
+        assert_eq!(r.requests(), 10_000);
+        assert!(r.next_free() > Cycle(99_000));
+    }
+
+    #[test]
+    fn reset_clears_timeline() {
+        let mut r = Resource::new(10);
+        r.acquire(Cycle(0));
+        r.reset();
+        assert_eq!(r.next_free(), Cycle::ZERO);
+        assert_eq!(r.requests(), 0);
+        assert_eq!(r.occupancy(), Duration(10));
+    }
+
+    #[test]
+    fn banks_are_independent() {
+        let mut b = BankedResource::new(2, 50);
+        assert_eq!(b.acquire(Cycle(0), 0), Cycle(0));
+        assert_eq!(b.acquire(Cycle(0), 1), Cycle(0));
+        assert_eq!(b.acquire(Cycle(0), 2), Cycle(50)); // bank 0 again
+        assert_eq!(b.requests(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        let _ = BankedResource::new(0, 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Typed addresses for the three address spaces of a FAM system.
+//!
+//! A memory-centric system juggles three distinct address spaces
+//! (§II-C): the application's *virtual* addresses, the node's imaginary
+//! flat *node physical* addresses (two NUMA-like zones: low = local
+//! DRAM, high = FAM), and the real *FAM* addresses assigned by the
+//! memory broker. Mixing them up is exactly the class of bug DeACT's
+//! access control exists to contain, so they are separate types here.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Page size used throughout the paper: 4 KB.
+pub const PAGE_BYTES: u64 = 4096;
+
+macro_rules! address_type {
+    ($(#[$doc:meta])* $name:ident, $page_doc:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            #[doc = $page_doc]
+            pub fn page(self) -> u64 {
+                self.0 / PAGE_BYTES
+            }
+
+            /// Byte offset within the page.
+            pub fn offset(self) -> u64 {
+                self.0 % PAGE_BYTES
+            }
+
+            /// Reassembles an address from a page number and offset.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `offset` is not smaller than the page size.
+            pub fn from_page(page: u64, offset: u64) -> $name {
+                assert!(offset < PAGE_BYTES, "offset must fit in a page");
+                $name(page * PAGE_BYTES + offset)
+            }
+
+            /// The cache-line address (64-byte granularity).
+            pub fn line(self) -> u64 {
+                fam_mem::line_of(self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({:#x})", stringify!($name), self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(a: $name) -> u64 {
+                a.0
+            }
+        }
+    };
+}
+
+address_type!(
+    /// An application virtual address, translated by the node MMU.
+    VirtAddr,
+    "The virtual page number."
+);
+
+address_type!(
+    /// A node physical address — the flat space each node's OS manages,
+    /// oblivious to the real FAM layout (§III-A). Low addresses are the
+    /// local-DRAM zone; high addresses are the FAM zone.
+    NodePhysAddr,
+    "The node physical page number."
+);
+
+address_type!(
+    /// A real fabric-attached-memory address, only meaningful at
+    /// system level. Produced by the STU or the FAM translator; the
+    /// node OS never manages these.
+    FamAddr,
+    "The FAM page number."
+);
+
+impl VirtAddr {
+    /// The virtual page number (alias of `page`, reads better at call
+    /// sites that deal in several page-number spaces at once).
+    pub fn vpage(self) -> u64 {
+        self.page()
+    }
+}
+
+/// Identifies a compute node at system level.
+///
+/// ACM entries carry a 14-bit node id (Fig. 5), so ids range over
+/// `0..16383`; the all-ones pattern is reserved to mark shared pages.
+///
+/// # Examples
+///
+/// ```
+/// use fam_vm::NodeId;
+///
+/// let n = NodeId::new(7);
+/// assert_eq!(n.index(), 7);
+/// assert!(NodeId::new(16382).index() < NodeId::SHARED_MARKER as usize);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// The 14-bit all-ones pattern that marks a shared page in ACM
+    /// (`0x3FFF`; the paper writes the full 16-bit field as `0xfffd`
+    /// for a shared read/execute page).
+    pub const SHARED_MARKER: u16 = 0x3FFF;
+
+    /// Creates a node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not fit in 14 bits or equals the reserved
+    /// shared-page marker (so at most 16383 nodes, as in §III-A).
+    pub fn new(id: u16) -> NodeId {
+        assert!(
+            id < Self::SHARED_MARKER,
+            "node id must be < 0x3FFF (the shared-page marker)"
+        );
+        NodeId(id)
+    }
+
+    /// The raw 14-bit value.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_and_offset_roundtrip() {
+        let a = VirtAddr(5 * PAGE_BYTES + 123);
+        assert_eq!(a.page(), 5);
+        assert_eq!(a.offset(), 123);
+        assert_eq!(VirtAddr::from_page(5, 123), a);
+    }
+
+    #[test]
+    fn line_uses_64_byte_blocks() {
+        assert_eq!(FamAddr(0).line(), 0);
+        assert_eq!(FamAddr(64).line(), 1);
+        assert_eq!(FamAddr(4096).line(), 64);
+    }
+
+    #[test]
+    fn address_types_are_distinct() {
+        // This is a compile-time property; the test documents it.
+        fn takes_fam(_: FamAddr) {}
+        takes_fam(FamAddr(1));
+        // takes_fam(NodePhysAddr(1)); // would not compile
+    }
+
+    #[test]
+    fn display_and_hex() {
+        assert_eq!(VirtAddr(0x1000).to_string(), "VirtAddr(0x1000)");
+        assert_eq!(format!("{:x}", NodePhysAddr(255)), "ff");
+        assert_eq!(u64::from(FamAddr(9)), 9);
+    }
+
+    #[test]
+    fn node_id_bounds() {
+        assert_eq!(NodeId::new(0).index(), 0);
+        assert_eq!(NodeId::new(16382).raw(), 16382);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared-page marker")]
+    fn shared_marker_is_not_a_node_id() {
+        let _ = NodeId::new(NodeId::SHARED_MARKER);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in a page")]
+    fn oversized_offset_rejected() {
+        let _ = VirtAddr::from_page(0, PAGE_BYTES);
+    }
+}

@@ -1,0 +1,265 @@
+//! On-disk trace format and replay.
+//!
+//! The synthetic generators stand in for the paper's benchmark
+//! binaries (DESIGN.md §1), but a user with real application traces —
+//! from a PIN tool, from SST's Ariel, from perf — should be able to
+//! feed them through the same system model. This module defines a
+//! compact binary trace format and a replaying reference source.
+//!
+//! Format (little-endian): magic `FAMT`, version `u16`, record count
+//! `u64`, then per record: virtual address `u64`, flags `u8`
+//! (bit 0 = write, bit 1 = dependent), instruction gap `u32`.
+
+use std::io::{self, Read, Write};
+
+use fam_vm::VirtAddr;
+
+use crate::{MemRef, TraceGenerator};
+
+/// File magic.
+const MAGIC: &[u8; 4] = b"FAMT";
+/// Format version.
+const VERSION: u16 = 1;
+/// Bytes per encoded record.
+const RECORD_BYTES: usize = 13;
+
+/// Serialises a reference stream to a writer.
+///
+/// Returns the number of records written.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use fam_workloads::{trace, Workload};
+///
+/// let refs = Workload::by_name("pf").unwrap().generator(1).take_refs(100);
+/// let mut buf = Vec::new();
+/// trace::write_trace(&mut buf, &refs).unwrap();
+/// let back = trace::read_trace(&mut buf.as_slice()).unwrap();
+/// assert_eq!(back, refs);
+/// ```
+pub fn write_trace<W: Write>(mut w: W, refs: &[MemRef]) -> io::Result<u64> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(refs.len() as u64).to_le_bytes())?;
+    for r in refs {
+        w.write_all(&r.vaddr.0.to_le_bytes())?;
+        let flags = (r.is_write as u8) | ((r.dependent as u8) << 1);
+        w.write_all(&[flags])?;
+        w.write_all(&r.gap_instrs.to_le_bytes())?;
+    }
+    Ok(refs.len() as u64)
+}
+
+/// Deserialises a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic, unsupported version, or a
+/// truncated body, and propagates reader errors.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<MemRef>> {
+    let mut header = [0u8; 14];
+    r.read_exact(&mut header)?;
+    if &header[0..4] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a FAMT trace",
+        ));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let count = u64::from_le_bytes(header[6..14].try_into().expect("8 bytes"));
+    let mut body = Vec::new();
+    r.read_to_end(&mut body)?;
+    if body.len() as u64 != count * RECORD_BYTES as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trace body length does not match record count",
+        ));
+    }
+    let mut refs = Vec::with_capacity(count as usize);
+    for chunk in body.chunks_exact(RECORD_BYTES) {
+        let vaddr = u64::from_le_bytes(chunk[0..8].try_into().expect("8 bytes"));
+        let flags = chunk[8];
+        let gap = u32::from_le_bytes(chunk[9..13].try_into().expect("4 bytes"));
+        refs.push(MemRef {
+            vaddr: VirtAddr(vaddr),
+            is_write: flags & 1 != 0,
+            dependent: flags & 2 != 0,
+            gap_instrs: gap,
+        });
+    }
+    Ok(refs)
+}
+
+/// Replays a recorded trace, wrapping around at the end so runs longer
+/// than the trace keep executing (like looping a kernel).
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    refs: Vec<MemRef>,
+    pos: usize,
+    emitted: u64,
+}
+
+impl TraceReplay {
+    /// Creates a replay source.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace.
+    pub fn new(refs: Vec<MemRef>) -> TraceReplay {
+        assert!(!refs.is_empty(), "cannot replay an empty trace");
+        TraceReplay {
+            refs,
+            pos: 0,
+            emitted: 0,
+        }
+    }
+
+    /// The next reference, wrapping at the end of the trace.
+    pub fn next_ref(&mut self) -> MemRef {
+        let r = self.refs[self.pos];
+        self.pos = (self.pos + 1) % self.refs.len();
+        self.emitted += 1;
+        r
+    }
+
+    /// Records in the underlying trace.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Whether the trace is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// References emitted so far (counting wrap-arounds).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+/// A reference source: either a synthetic generator or a trace replay.
+/// This is what each simulated core consumes.
+#[derive(Debug, Clone)]
+pub enum RefStream {
+    /// Synthetic Table III generator.
+    Synthetic(TraceGenerator),
+    /// Recorded-trace replay.
+    Replay(TraceReplay),
+}
+
+impl RefStream {
+    /// The next reference from the stream.
+    pub fn next_ref(&mut self) -> MemRef {
+        match self {
+            RefStream::Synthetic(g) => g.next_ref(),
+            RefStream::Replay(r) => r.next_ref(),
+        }
+    }
+
+    /// References emitted so far.
+    pub fn emitted(&self) -> u64 {
+        match self {
+            RefStream::Synthetic(g) => g.emitted(),
+            RefStream::Replay(r) => r.emitted(),
+        }
+    }
+}
+
+impl From<TraceGenerator> for RefStream {
+    fn from(g: TraceGenerator) -> RefStream {
+        RefStream::Synthetic(g)
+    }
+}
+
+impl From<TraceReplay> for RefStream {
+    fn from(r: TraceReplay) -> RefStream {
+        RefStream::Replay(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    fn sample_refs(n: usize) -> Vec<MemRef> {
+        Workload::by_name("mcf").unwrap().generator(3).take_refs(n)
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let refs = sample_refs(500);
+        let mut buf = Vec::new();
+        assert_eq!(write_trace(&mut buf, &refs).unwrap(), 500);
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, refs);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        assert!(read_trace(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_refs(1)).unwrap();
+        buf[4] = 99;
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_refs(10)).unwrap();
+        buf.pop();
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn replay_wraps_around() {
+        let refs = sample_refs(5);
+        let mut replay = TraceReplay::new(refs.clone());
+        for i in 0..12 {
+            assert_eq!(replay.next_ref(), refs[i % 5]);
+        }
+        assert_eq!(replay.emitted(), 12);
+        assert_eq!(replay.len(), 5);
+    }
+
+    #[test]
+    fn ref_stream_dispatches() {
+        let mut synth: RefStream = Workload::by_name("pf").unwrap().generator(1).into();
+        let mut replay: RefStream = TraceReplay::new(sample_refs(3)).into();
+        synth.next_ref();
+        replay.next_ref();
+        assert_eq!(synth.emitted(), 1);
+        assert_eq!(replay.emitted(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_replay_rejected() {
+        let _ = TraceReplay::new(Vec::new());
+    }
+}

@@ -1,0 +1,2 @@
+//! Host crate for the workspace's cross-crate integration tests; the
+//! tests live in `tests/tests/`.

@@ -1,0 +1,252 @@
+//! Property-based tests on the substrates' core invariants.
+
+use std::collections::HashMap;
+
+use fam_broker::{AcmEntry, AcmWidth, FamLayout};
+use fam_fabric::packet::{Packet, PacketKind};
+use fam_mem::{CacheConfig, Replacement, SetAssocCache};
+use fam_sim::{Cycle, Resource, Window};
+use fam_vm::{FamAddr, NodeId, PageTable, PtFlags, VirtAddr, PAGE_BYTES};
+use proptest::prelude::*;
+
+proptest! {
+    /// A page table agrees with a plain map under any interleaving of
+    /// map / unmap / protect operations.
+    #[test]
+    fn page_table_matches_reference_model(
+        ops in prop::collection::vec(
+            (0u8..3, 0u64..512, 1u64..1_000_000), 1..200
+        )
+    ) {
+        let mut pt = PageTable::new(0);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut next = 0x100_0000u64;
+        let mut alloc = move |_: usize| {
+            // Local copy of a bump allocator.
+            let a = next;
+            next += PAGE_BYTES;
+            a
+        };
+        for (op, vpage, target) in ops {
+            // Spread vpages across levels to exercise the radix.
+            let vpage = vpage * 0x4_0421;
+            match op {
+                0 => {
+                    pt.map(vpage, target, PtFlags::rw(), &mut alloc);
+                    model.insert(vpage, target);
+                }
+                1 => {
+                    pt.unmap(vpage);
+                    model.remove(&vpage);
+                }
+                _ => {
+                    let did = pt.protect(vpage, PtFlags::ro());
+                    prop_assert_eq!(did, model.contains_key(&vpage));
+                }
+            }
+            prop_assert_eq!(pt.mapped_pages(), model.len() as u64);
+        }
+        for (vpage, target) in &model {
+            prop_assert_eq!(pt.translate(*vpage).map(|p| p.target_page), Some(*target));
+        }
+    }
+
+    /// A set-associative cache never exceeds its capacity and always
+    /// hits on the most recently inserted key.
+    #[test]
+    fn cache_capacity_and_recency(
+        keys in prop::collection::vec(0u64..10_000, 1..500),
+        sets in 1usize..32,
+        ways in 1usize..8,
+    ) {
+        let mut c: SetAssocCache<u64> =
+            SetAssocCache::new(CacheConfig::new(sets, ways, Replacement::Lru));
+        for &k in &keys {
+            c.insert(k, k * 2);
+            prop_assert!(c.len() <= sets * ways);
+            prop_assert_eq!(c.get(k), Some(&(k * 2)), "MRU key must be resident");
+        }
+    }
+
+    /// Backfilled resource schedules never overlap more than the
+    /// resource allows: total busy time is conserved.
+    #[test]
+    fn resource_busy_time_is_conserved(
+        arrivals in prop::collection::vec(0u64..100_000, 1..200),
+        occ in 1u64..50,
+    ) {
+        let mut r = Resource::new(occ);
+        for &a in &arrivals {
+            let start = r.acquire(Cycle(a));
+            prop_assert!(start >= Cycle(a));
+        }
+        prop_assert_eq!(r.busy_cycles().0, occ * arrivals.len() as u64);
+        prop_assert_eq!(r.requests(), arrivals.len() as u64);
+    }
+
+    /// The outstanding window never admits more than `capacity`
+    /// operations whose lifetimes overlap, under monotone arrivals.
+    #[test]
+    fn window_bounds_concurrency(
+        gaps in prop::collection::vec(0u64..100, 32..200),
+        latency in 1u64..5_000,
+        capacity in 1usize..64,
+    ) {
+        let mut w = Window::new(capacity);
+        let mut now = 0u64;
+        let mut intervals: Vec<(u64, u64)> = Vec::new();
+        for g in gaps {
+            now += g;
+            let start = w.admit(Cycle(now)).0.max(now);
+            w.record_completion(Cycle(start + latency));
+            intervals.push((start, start + latency));
+        }
+        // At every start, the number of other ops strictly containing
+        // that instant must be below capacity.
+        for &(s, _) in &intervals {
+            let live = intervals
+                .iter()
+                .filter(|&&(a, b)| a <= s && s < b)
+                .count();
+            prop_assert!(
+                live <= capacity,
+                "{live} concurrent ops exceed capacity {capacity}"
+            );
+        }
+    }
+
+    /// ACM addresses are injective per page and stay inside the
+    /// metadata region.
+    #[test]
+    fn acm_addresses_injective(
+        pages in prop::collection::vec(0u64..100_000, 1..100),
+    ) {
+        let layout = FamLayout::new(2 << 30, AcmWidth::W16);
+        let mut seen = HashMap::new();
+        for p in pages {
+            let p = p % layout.usable_pages();
+            let addr = layout.acm_addr(FamAddr(p * PAGE_BYTES));
+            prop_assert!(addr >= layout.acm_base());
+            prop_assert!(addr < layout.bitmap_base());
+            if let Some(prev) = seen.insert(addr, p) {
+                prop_assert_eq!(prev, p, "two pages share an ACM address");
+            }
+        }
+    }
+
+    /// ACM entries round-trip their owner and permissions at every
+    /// width.
+    #[test]
+    fn acm_entry_roundtrip(id in 0u16..62, perm in 0u8..4) {
+        let flags = match perm {
+            0 => PtFlags::ro(),
+            1 => PtFlags::rw(),
+            2 => PtFlags::rx(),
+            _ => PtFlags::rwx(),
+        };
+        for width in [AcmWidth::W8, AcmWidth::W16, AcmWidth::W32] {
+            let e = AcmEntry::owned(width, NodeId::new(id), flags);
+            prop_assert_eq!(e.owner(), Some(NodeId::new(id)));
+            prop_assert_eq!(e.flags().writable(), flags.writable());
+            prop_assert_eq!(e.flags().executable(), flags.executable());
+            let back = AcmEntry::from_raw(width, e.raw());
+            prop_assert_eq!(back, e);
+        }
+    }
+
+    /// Fabric packets round-trip any field combination.
+    #[test]
+    fn packet_roundtrip(
+        kind_code in 0u8..4,
+        node in 0u16..0x3FFE,
+        addr in any::<u64>(),
+        verified in any::<bool>(),
+        tag in any::<u16>(),
+    ) {
+        let kind = match kind_code {
+            0 => PacketKind::Read,
+            1 => PacketKind::Write,
+            2 => PacketKind::TranslationRequest,
+            _ => PacketKind::TranslationResponse,
+        };
+        let p = Packet { kind, source: NodeId::new(node), addr, verified, tag };
+        prop_assert_eq!(Packet::decode(p.encode()), Ok(p));
+    }
+
+    /// Virtual addresses decompose and reassemble exactly.
+    #[test]
+    fn address_roundtrip(raw in any::<u64>()) {
+        let raw = raw >> 16; // stay within 48-bit VA space
+        let a = VirtAddr(raw);
+        prop_assert_eq!(VirtAddr::from_page(a.page(), a.offset()), a);
+    }
+}
+
+proptest! {
+    /// Inclusion invariant: any line resident in a private L1/L2 is
+    /// also resident in the shared L3, under arbitrary access streams.
+    #[test]
+    fn hierarchy_inclusion_holds(
+        accesses in prop::collection::vec((0usize..2, 0u64..64, any::<bool>()), 1..300)
+    ) {
+        use fam_mem::{CacheHierarchy, HierarchyConfig};
+        let mut h = CacheHierarchy::new(2, HierarchyConfig {
+            l1_bytes: 4 * 64,
+            l1_ways: 2,
+            l1_latency: 1,
+            l2_bytes: 8 * 64,
+            l2_ways: 2,
+            l2_latency: 2,
+            l3_bytes: 16 * 64,
+            l3_ways: 2,
+            l3_latency: 3,
+        });
+        let mut touched = std::collections::HashSet::new();
+        for (core, line, write) in accesses {
+            h.access(core, line, write);
+            touched.insert(line);
+        }
+        // `contains` checks all levels; a line in L1/L2 but evicted
+        // from L3 would have been back-invalidated, so any still-
+        // resident line must be L3-resident. We verify through the
+        // public surface: re-access every touched line and confirm the
+        // hierarchy never reports an L1/L2 hit for a line the L3 lost.
+        for line in touched {
+            let resident = h.contains(line);
+            let r = h.access(0, line, false);
+            if !resident {
+                prop_assert_eq!(r.level, None, "line {} hit despite eviction", line);
+            }
+        }
+    }
+
+    /// DeACT-W resident groups behave exactly like a model keyed by
+    /// `page / coverage`: filling any page makes its whole aligned
+    /// group resident and nothing else.
+    #[test]
+    fn deact_w_group_model(pages in prop::collection::vec(0u64..512, 1..64)) {
+        use fam_stu::{StuCache, StuConfig, StuOrganization};
+        let config = StuConfig {
+            sets: 64,
+            ways: 8,
+            organization: StuOrganization::DeactW,
+            ..StuConfig::default()
+        };
+        let coverage = config.deact_w_coverage();
+        let mut stu = StuCache::new(config);
+        let mut model: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for p in &pages {
+            stu.acm_fill(*p);
+            model.insert(p / coverage);
+        }
+        // 512 pages = 128 groups fit comfortably in 512 ways: the
+        // model is exact (no evictions).
+        for page in 0u64..512 {
+            prop_assert_eq!(
+                stu.acm_lookup(page),
+                model.contains(&(page / coverage)),
+                "page {}", page
+            );
+        }
+    }
+}
