@@ -5,6 +5,7 @@
 //! Fig. 9/10 hit rates. Not part of the figure suite.
 
 use deact::{run_benchmark, Scheme, SystemConfig};
+use fam_sim::FaultConfig;
 
 fn main() {
     let refs = fam_bench::refs_from_env(60_000);
@@ -27,6 +28,32 @@ fn main() {
             n.acm_hit_rate.unwrap() * 100.0,
             ifam.ipc / efam.ipc,
             n.ipc / efam.ipc,
+        );
+    }
+
+    // Robustness probe: the transient-fault profile against every
+    // scheme on one representative workload — a quick check that the
+    // retry/NACK machinery holds its 100%-recovery contract and what
+    // the faults cost each scheme.
+    let faulty = cfg.with_fault_injection(FaultConfig::transient(7));
+    println!();
+    println!(
+        "{:8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "scheme", "injected", "retries", "recov", "fatal", "rate", "ipc-loss"
+    );
+    for scheme in Scheme::ALL {
+        let clean = run_benchmark("mcf", cfg.with_scheme(scheme));
+        let r = run_benchmark("mcf", faulty.with_scheme(scheme));
+        let f = &r.recovery;
+        println!(
+            "{:8} {:>8} {:>8} {:>8} {:>8} {:>7.1}% {:>8.1}%",
+            scheme.name(),
+            f.injected_total(),
+            f.retries,
+            f.recovered,
+            f.fatal,
+            f.recovery_rate() * 100.0,
+            (1.0 - r.ipc / clean.ipc) * 100.0,
         );
     }
 }

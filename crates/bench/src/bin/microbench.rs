@@ -1,0 +1,126 @@
+//! Dependency-free micro-benchmarks on the hot data structures of the
+//! simulation: these bound how fast the full-system experiments run
+//! and double as smoke tests on the substrate implementations.
+//!
+//! A deliberate stand-in for an external benchmark harness — the
+//! workspace builds hermetically, so the timing loop is plain
+//! `std::time::Instant` with `std::hint::black_box` keeping the
+//! optimizer honest. Numbers are wall-clock ns/op medians over a few
+//! repetitions: good for spotting 2× regressions, not 2% ones.
+//!
+//! ```sh
+//! cargo run --release -p fam-bench --bin microbench
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use deact::FamTranslator;
+use fam_broker::{AcmWidth, FamLayout};
+use fam_mem::{CacheConfig, CacheHierarchy, HierarchyConfig, Replacement, SetAssocCache};
+use fam_stu::{StuCache, StuConfig, StuOrganization};
+use fam_vm::{FamAddr, PageTable, PageWalker, PtFlags, PtwCache, TlbConfig, TlbHierarchy};
+use fam_workloads::Workload;
+
+const ITERS: u64 = 2_000_000;
+const REPS: usize = 5;
+
+/// Times `f` for `ITERS` iterations, `REPS` times, and prints the
+/// median ns/op (the median shrugs off scheduler noise).
+fn bench(label: &str, mut f: impl FnMut(u64)) {
+    let mut samples = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for i in 0..ITERS {
+            f(i);
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / ITERS as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    println!("{label:28} {:>8.1} ns/op", samples[REPS / 2]);
+}
+
+fn main() {
+    println!("{:28} {:>11}  ({ITERS} iters x {REPS} reps)", "", "median");
+
+    let mut cache: SetAssocCache<u64> =
+        SetAssocCache::new(CacheConfig::new(128, 8, Replacement::Lru));
+    for k in 0..1024u64 {
+        cache.insert(k, k);
+    }
+    bench("set_assoc_cache_get", |i| {
+        black_box(cache.get(black_box((i * 7) % 2048)).copied());
+    });
+
+    let mut h = CacheHierarchy::new(4, HierarchyConfig::default());
+    bench("cache_hierarchy_access", |i| {
+        black_box(h.access(0, black_box((i * 97) % 100_000), false));
+    });
+
+    let mut tlb = TlbHierarchy::new(TlbConfig::default());
+    for p in 0..256u64 {
+        tlb.fill(
+            p,
+            fam_vm::Pte {
+                target_page: p,
+                flags: PtFlags::rw(),
+            },
+        );
+    }
+    bench("tlb_lookup", |i| {
+        black_box(tlb.lookup(black_box((i * 3) % 512)));
+    });
+
+    let mut pt = PageTable::new(0);
+    let mut next = 0x100_0000u64;
+    let mut alloc = |_: usize| {
+        let a = next;
+        next += 4096;
+        a
+    };
+    for v in 0..10_000u64 {
+        pt.map(v * 13, v, PtFlags::rw(), &mut alloc);
+    }
+    let mut ptw = PtwCache::new(32);
+    bench("page_walk_planned", |i| {
+        black_box(PageWalker::plan(
+            &pt,
+            Some(&mut ptw),
+            black_box((i % 10_000) * 13),
+        ));
+    });
+
+    for (label, org) in [
+        ("stu_acm_lookup/deact_w", StuOrganization::DeactW),
+        ("stu_acm_lookup/deact_n", StuOrganization::DeactN),
+    ] {
+        let mut stu = StuCache::new(StuConfig {
+            organization: org,
+            ..StuConfig::default()
+        });
+        for p in 0..2048u64 {
+            stu.acm_fill(p * 31);
+        }
+        bench(label, |i| {
+            black_box(stu.acm_lookup(black_box((i % 4096) * 31)));
+        });
+    }
+
+    let mut t = FamTranslator::new(1 << 20, 0x3000_0000, 128, 5);
+    for p in 0..65_536u64 {
+        t.install(p, p + 9);
+    }
+    bench("fam_translator_lookup", |i| {
+        black_box(t.lookup(black_box((i * 11) % 131_072)));
+    });
+
+    let layout = FamLayout::new(16 << 30, AcmWidth::W16);
+    bench("acm_addr_derivation", |i| {
+        black_box(layout.acm_addr(FamAddr(black_box((i * 4096) % layout.usable_bytes()))));
+    });
+
+    let mut gen = Workload::by_name("sssp").unwrap().generator(3);
+    bench("trace_generator_next_ref", |_| {
+        black_box(gen.next_ref());
+    });
+}

@@ -50,14 +50,14 @@ pub fn run_matrix(benches: &[&str], schemes: &[Scheme], cfg: SystemConfig) -> Ma
             jobs.push((b.to_string(), *s));
         }
     }
-    let results: Vec<((String, Scheme), RunReport)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<((String, Scheme), RunReport)> = std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .iter()
             .map(|(b, s)| {
                 let cfg = cfg.with_scheme(*s);
                 let b = b.clone();
                 let s = *s;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let w =
                         Workload::by_name(&b).unwrap_or_else(|| panic!("unknown benchmark {b}"));
                     let report = deact::System::new(cfg, &w).run();
@@ -69,8 +69,7 @@ pub fn run_matrix(benches: &[&str], schemes: &[Scheme], cfg: SystemConfig) -> Ma
             .into_iter()
             .map(|h| h.join().expect("benchmark worker panicked"))
             .collect()
-    })
-    .expect("worker scope");
+    });
     results.into_iter().collect()
 }
 

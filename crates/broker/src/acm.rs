@@ -4,10 +4,9 @@
 use std::collections::HashMap;
 
 use fam_vm::{NodeId, PtFlags};
-use serde::{Deserialize, Serialize};
 
 /// The kind of access being vetted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A load.
     Read,
@@ -21,7 +20,7 @@ pub enum AccessKind {
 /// (14-bit node id + 2 permission bits, Fig. 5); §V-D2 sweeps 8 and 32
 /// bits, trading the number of supportable nodes against metadata
 /// density.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AcmWidth {
     /// 8-bit entries: 6-bit node id (8191 nodes in the paper's
     /// accounting), ACM of 64 pages per 64-byte block.
@@ -101,7 +100,7 @@ fn perms_decode(bits: u32) -> PtFlags {
 /// assert!(!e.is_shared());
 /// assert!(e.flags().writable());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AcmEntry {
     raw: u32,
     width: AcmWidth,
@@ -195,7 +194,7 @@ impl AcmEntry {
 /// nodes this affords 4 bits per node, which we spend as
 /// `[allowed, read, write, execute]` so subsets of nodes can hold
 /// *mixed* permissions on the same shared page (§III-A).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 struct RegionBitmap {
     /// 4 bits per node, indexed by node id.
     nibbles: HashMap<u16, u8>,

@@ -4,13 +4,12 @@ use std::fmt;
 
 use fam_sim::SimRng;
 use fam_vm::{NodeId, PageTable, PtFlags, Pte, PAGE_BYTES};
-use serde::{Deserialize, Serialize};
 
 use crate::layout::REGION_BYTES;
 use crate::{AccessKind, AcmStore, AcmWidth, FamLayout, LogicalNodeMap};
 
 /// Broker configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BrokerConfig {
     /// FAM module capacity in bytes (Table II: 16 GB).
     pub fam_bytes: u64,
@@ -76,7 +75,7 @@ impl fmt::Display for BrokerError {
 impl std::error::Error for BrokerError {}
 
 /// A shared memory segment registered in a dedicated 1 GB region.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SharedSegment {
     /// The 1 GB region hosting the segment.
     pub region: u64,
@@ -94,7 +93,7 @@ impl SharedSegment {
 }
 
 /// Accounting for a job migration (§VI): what a shootdown costs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MigrationReport {
     /// Pages whose ownership moved.
     pub pages_moved: u64,

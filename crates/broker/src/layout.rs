@@ -1,7 +1,6 @@
 //! The Fig. 5 FAM address-space layout.
 
 use fam_vm::{FamAddr, PAGE_BYTES};
-use serde::{Deserialize, Serialize};
 
 use crate::AcmWidth;
 
@@ -31,7 +30,7 @@ pub const BITMAP_BYTES: u64 = BITMAP_BITS / 8;
 /// let b = layout.acm_addr(FamAddr(4096));
 /// assert_eq!(b - a, 2); // 16 bits of ACM per 4 KB page
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FamLayout {
     total_bytes: u64,
     acm_width: AcmWidth,

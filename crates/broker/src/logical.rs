@@ -10,10 +10,9 @@ use std::collections::HashMap;
 use std::fmt;
 
 use fam_vm::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// A resource-manager job identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
 
 impl fmt::Display for JobId {

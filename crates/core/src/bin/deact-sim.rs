@@ -4,19 +4,22 @@
 //! deact-sim run <benchmark> [--scheme E-FAM|I-FAM|DeACT-W|DeACT-N]
 //!                           [--refs N] [--nodes N] [--fabric-ns N]
 //!                           [--stu-entries N] [--seed N]
+//!                           [--fault-profile transient[:seed]]
 //! deact-sim compare <benchmark> [--refs N]        # all four schemes
 //! deact-sim list                                   # Table III roster
 //! ```
 
 use std::process::ExitCode;
 
-use deact::{run_benchmark, RunReport, Scheme, SystemConfig};
+use deact::{try_run_benchmark, RunReport, Scheme, SystemConfig};
+use fam_sim::FaultConfig;
 use fam_workloads::table3;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  deact-sim run <benchmark> [--scheme S] [--refs N] [--nodes N] \
-         [--fabric-ns N] [--stu-entries N] [--seed N]\n  \
+         [--fabric-ns N] [--stu-entries N] [--seed N] \
+         [--fault-profile transient[:seed]]\n  \
          deact-sim compare <benchmark> [--refs N]\n  deact-sim list"
     );
     ExitCode::FAILURE
@@ -28,6 +31,19 @@ fn parse_scheme(s: &str) -> Option<Scheme> {
         "i-fam" | "ifam" => Some(Scheme::IFam),
         "deact-w" | "deactw" => Some(Scheme::DeactW),
         "deact-n" | "deactn" | "deact" => Some(Scheme::DeactN),
+        _ => None,
+    }
+}
+
+/// Parses `transient` or `transient:<seed>` into a fault profile.
+fn parse_fault_profile(s: &str) -> Option<FaultConfig> {
+    let (name, seed) = match s.split_once(':') {
+        Some((name, seed)) => (name, seed.parse().ok()?),
+        None => (s, 0xFA_u64),
+    };
+    match name {
+        "transient" => Some(FaultConfig::transient(seed)),
+        "off" | "none" => Some(FaultConfig::disabled()),
         _ => None,
     }
 }
@@ -45,6 +61,7 @@ fn apply_flags(mut cfg: SystemConfig, args: &[String]) -> Option<SystemConfig> {
             "--fabric-ns" => cfg.with_fabric_latency_ns(value.parse().ok()?),
             "--stu-entries" => cfg.with_stu_entries(value.parse().ok()?),
             "--seed" => cfg.with_seed(value.parse().ok()?),
+            "--fault-profile" => cfg.with_fault_injection(parse_fault_profile(value)?),
             _ => return None,
         };
     }
@@ -79,6 +96,38 @@ fn print_report(r: &RunReport) {
         r.dram_reads, r.dram_writes
     );
     println!("page faults      {}", r.faults);
+    if !r.recovery.is_zero() {
+        let f = &r.recovery;
+        println!(
+            "faults injected  {} ({} drop, {} corrupt, {} stale, {} stall)",
+            f.injected_total(),
+            f.injected_drops,
+            f.injected_corruptions,
+            f.injected_stale,
+            f.injected_stu_stalls
+        );
+        println!(
+            "recovery         {} retries, {} timeouts, {} corrupt-NACKs, {} stale-NACKs",
+            f.retries, f.timeouts, f.nacks_corrupt, f.nacks_stale
+        );
+        println!(
+            "degradation      {} recovered, {} fatal ({:.1}% recovered); \
+             {} backoff cy, {} link-down cy, {} stall cy",
+            f.recovered,
+            f.fatal,
+            f.recovery_rate() * 100.0,
+            f.backoff_cycles,
+            f.link_down_wait_cycles,
+            f.stu_stall_cycles
+        );
+    }
+}
+
+fn run_or_report(bench: &str, cfg: SystemConfig) -> Result<RunReport, ExitCode> {
+    try_run_benchmark(bench, cfg).map_err(|e| {
+        eprintln!("deact-sim: {e}");
+        ExitCode::FAILURE
+    })
 }
 
 fn main() -> ExitCode {
@@ -98,12 +147,13 @@ fn main() -> ExitCode {
             let Some(cfg) = apply_flags(SystemConfig::paper_default(), &args[2..]) else {
                 return usage();
             };
-            if fam_workloads::Workload::by_name(bench).is_none() {
-                eprintln!("unknown benchmark `{bench}`; try `deact-sim list`");
-                return ExitCode::FAILURE;
+            match run_or_report(bench, cfg) {
+                Ok(r) => {
+                    print_report(&r);
+                    ExitCode::SUCCESS
+                }
+                Err(code) => code,
             }
-            print_report(&run_benchmark(bench, cfg));
-            ExitCode::SUCCESS
         }
         Some("compare") => {
             let Some(bench) = args.get(1) else {
@@ -112,17 +162,16 @@ fn main() -> ExitCode {
             let Some(cfg) = apply_flags(SystemConfig::paper_default(), &args[2..]) else {
                 return usage();
             };
-            if fam_workloads::Workload::by_name(bench).is_none() {
-                eprintln!("unknown benchmark `{bench}`; try `deact-sim list`");
-                return ExitCode::FAILURE;
-            }
             let mut baseline_ipc = None;
             println!(
                 "{:>8} {:>9} {:>10} {:>8} {:>8}",
                 "scheme", "ipc", "norm", "AT%", "secure"
             );
             for scheme in Scheme::ALL {
-                let r = run_benchmark(bench, cfg.with_scheme(scheme));
+                let r = match run_or_report(bench, cfg.with_scheme(scheme)) {
+                    Ok(r) => r,
+                    Err(code) => return code,
+                };
                 let base = *baseline_ipc.get_or_insert(r.ipc);
                 println!(
                     "{:>8} {:>9.4} {:>10.2} {:>8.1} {:>8}",

@@ -3,11 +3,11 @@
 use fam_broker::AcmWidth;
 use fam_fabric::FabricConfig;
 use fam_mem::{HierarchyConfig, NvmConfig};
-use fam_sim::Frequency;
+use fam_sim::{FaultConfig, Frequency};
 use fam_stu::StuConfig;
 use fam_vm::TlbConfig;
-use serde::{Deserialize, Serialize};
 
+use crate::translator::RetryConfig;
 use crate::Scheme;
 
 /// Configuration of one simulated FAM system, defaulting to the
@@ -24,7 +24,7 @@ use crate::Scheme;
 /// assert_eq!(cfg.fabric.latency_ns, 1000);
 /// assert_eq!(cfg.cores_per_node, 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// Virtual-memory scheme under test.
     pub scheme: Scheme,
@@ -109,6 +109,16 @@ pub struct SystemConfig {
     pub refs_per_core: u64,
     /// Master seed.
     pub seed: u64,
+    /// Fabric fault injection (drops, corruption, link-down windows,
+    /// STU stalls, stale translations). Disabled by default — a
+    /// disabled injector is a zero-cost no-op, so default runs are
+    /// bit-identical to a build without the fault layer. Named
+    /// `fault_injection` to stay clearly apart from `fault_ns`, the
+    /// page-fault service latency.
+    pub fault_injection: FaultConfig,
+    /// Retry/timeout/backoff policy the nodes use to recover from
+    /// injected faults.
+    pub retry: RetryConfig,
 }
 
 impl SystemConfig {
@@ -146,6 +156,8 @@ impl SystemConfig {
             skip_read_checks: false,
             refs_per_core: 100_000,
             seed: 0xDEAC7,
+            fault_injection: FaultConfig::disabled(),
+            retry: RetryConfig::default(),
         }
     }
 
@@ -160,6 +172,13 @@ impl SystemConfig {
     #[must_use]
     pub fn with_nodes(mut self, nodes: usize) -> SystemConfig {
         self.nodes = nodes;
+        self
+    }
+
+    /// Sets the core count per node.
+    #[must_use]
+    pub fn with_cores_per_node(mut self, cores: usize) -> SystemConfig {
+        self.cores_per_node = cores;
         self
     }
 
@@ -180,6 +199,13 @@ impl SystemConfig {
     #[must_use]
     pub fn with_fabric_latency_ns(mut self, ns: u64) -> SystemConfig {
         self.fabric.latency_ns = ns;
+        self
+    }
+
+    /// Sets the FAM pool capacity in bytes.
+    #[must_use]
+    pub fn with_fam_bytes(mut self, bytes: u64) -> SystemConfig {
+        self.fam_bytes = bytes;
         self
     }
 
@@ -249,6 +275,20 @@ impl SystemConfig {
         self
     }
 
+    /// Sets the fault-injection profile (see [`FaultConfig`]).
+    #[must_use]
+    pub fn with_fault_injection(mut self, faults: FaultConfig) -> SystemConfig {
+        self.fault_injection = faults;
+        self
+    }
+
+    /// Sets the retry/timeout/backoff policy (see [`RetryConfig`]).
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryConfig) -> SystemConfig {
+        self.retry = retry;
+        self
+    }
+
     /// The core clock.
     pub fn frequency(&self) -> Frequency {
         Frequency::mhz(self.frequency_mhz)
@@ -301,6 +341,8 @@ impl SystemConfig {
             "local fraction must be a probability"
         );
         assert!(self.issue_width > 0, "issue width must be non-zero");
+        self.fault_injection.validate();
+        self.retry.validate();
     }
 }
 
@@ -381,6 +423,28 @@ mod tests {
     #[test]
     fn validate_accepts_default() {
         SystemConfig::paper_default().validate();
+    }
+
+    #[test]
+    fn fault_injection_defaults_off() {
+        let c = SystemConfig::paper_default();
+        assert!(!c.fault_injection.enabled);
+        assert_eq!(c.retry, RetryConfig::default());
+        let faulty = c.with_fault_injection(FaultConfig::transient(9));
+        assert!(faulty.fault_injection.enabled);
+        faulty.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn validate_rejects_bad_fault_profile() {
+        SystemConfig::paper_default()
+            .with_fault_injection(FaultConfig {
+                enabled: true,
+                drop_prob: 7.0,
+                ..FaultConfig::disabled()
+            })
+            .validate();
     }
 
     #[test]

@@ -48,6 +48,7 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod error;
 mod metrics;
 pub mod node;
 mod scheme;
@@ -55,7 +56,10 @@ mod system;
 mod translator;
 
 pub use config::SystemConfig;
-pub use metrics::{FamTraffic, RunReport};
+pub use error::SimError;
+pub use metrics::{FamTraffic, FaultRecovery, RunReport};
 pub use scheme::Scheme;
-pub use system::{run_benchmark, System};
-pub use translator::{FamTranslator, OutstandingMappingList, TranslatorStats};
+pub use system::{run_benchmark, try_run_benchmark, System};
+pub use translator::{
+    FamTranslator, OutstandingMappingList, RetryConfig, RetryOutcome, RetryState, TranslatorStats,
+};

@@ -1,12 +1,10 @@
 //! Run-level metrics: everything the paper's figures plot.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Scheme;
 
 /// Request traffic observed *at the FAM*, split the way Figs. 4 and 11
 /// split it: address-translation (AT) requests vs everything else.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FamTraffic {
     /// Data reads reaching the FAM.
     pub data_reads: u64,
@@ -62,9 +60,93 @@ impl FamTraffic {
     }
 }
 
+/// Graceful-degradation accounting: what the fault injector threw at
+/// the run and what the retry/NACK machinery did about it.
+///
+/// All-zero (the [`Default`]) when injection is disabled — the
+/// zero-overhead-off contract is that a default run's report differs
+/// from a pre-fault-layer run *only* by this all-zero block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultRecovery {
+    /// Fabric frames the injector silently dropped.
+    pub injected_drops: u64,
+    /// Fabric frames the injector corrupted in flight.
+    pub injected_corruptions: u64,
+    /// Cached translations the injector declared stale.
+    pub injected_stale: u64,
+    /// STU stalls the injector inserted.
+    pub injected_stu_stalls: u64,
+    /// Timeout expiries observed by requesters (drop detections).
+    pub timeouts: u64,
+    /// Corrupt-frame NACKs received (wire CRC rejections).
+    pub nacks_corrupt: u64,
+    /// Stale-translation NACKs received (DeACT `V`-flag rejections).
+    pub nacks_stale: u64,
+    /// Reissues performed by the retry state machine.
+    pub retries: u64,
+    /// Cycles spent waiting out exponential backoff.
+    pub backoff_cycles: u64,
+    /// Cycles spent stalled behind scheduled link-down windows.
+    pub link_down_wait_cycles: u64,
+    /// Cycles lost to injected STU stalls.
+    pub stu_stall_cycles: u64,
+    /// Faulted requests that eventually completed within the retry
+    /// budget.
+    pub recovered: u64,
+    /// Requests that exhausted the retry budget (the run still
+    /// completes — degradation, not collapse — but these are the
+    /// accesses a real system would surface as machine-check-grade
+    /// errors).
+    pub fatal: u64,
+}
+
+impl FaultRecovery {
+    /// Total faults injected into this run.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_drops
+            + self.injected_corruptions
+            + self.injected_stale
+            + self.injected_stu_stalls
+    }
+
+    /// Fraction of faulted requests that recovered within budget
+    /// (`1.0` when nothing faulted).
+    pub fn recovery_rate(&self) -> f64 {
+        let total = self.recovered + self.fatal;
+        if total == 0 {
+            1.0
+        } else {
+            self.recovered as f64 / total as f64
+        }
+    }
+
+    /// Whether the run saw no injected faults at all (the disabled-
+    /// injector invariant).
+    pub fn is_zero(&self) -> bool {
+        *self == FaultRecovery::default()
+    }
+
+    /// Accumulates another recovery record.
+    pub fn merge(&mut self, other: &FaultRecovery) {
+        self.injected_drops += other.injected_drops;
+        self.injected_corruptions += other.injected_corruptions;
+        self.injected_stale += other.injected_stale;
+        self.injected_stu_stalls += other.injected_stu_stalls;
+        self.timeouts += other.timeouts;
+        self.nacks_corrupt += other.nacks_corrupt;
+        self.nacks_stale += other.nacks_stale;
+        self.retries += other.retries;
+        self.backoff_cycles += other.backoff_cycles;
+        self.link_down_wait_cycles += other.link_down_wait_cycles;
+        self.stu_stall_cycles += other.stu_stall_cycles;
+        self.recovered += other.recovered;
+        self.fatal += other.fatal;
+    }
+}
+
 /// The result of one simulation run: one benchmark under one scheme
 /// and configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Scheme simulated.
     pub scheme: Scheme,
@@ -100,6 +182,9 @@ pub struct RunReport {
     /// Page faults (node-level first touches plus system-level
     /// demand maps).
     pub faults: u64,
+    /// Fault-injection and recovery accounting (all-zero when the
+    /// injector is disabled).
+    pub recovery: FaultRecovery,
     /// References simulated per core.
     pub refs_per_core: u64,
 }
@@ -173,6 +258,7 @@ mod tests {
             dram_reads: 0,
             dram_writes: 0,
             faults: 0,
+            recovery: FaultRecovery::default(),
             refs_per_core: 10,
         }
     }
@@ -183,5 +269,33 @@ mod tests {
         let ifam = report(0.5);
         assert!((ifam.normalized_to(&efam) - 0.25).abs() < 1e-12);
         assert!((efam.speedup_over(&ifam) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_defaults_to_zero_and_full_rate() {
+        let r = FaultRecovery::default();
+        assert!(r.is_zero());
+        assert_eq!(r.injected_total(), 0);
+        assert_eq!(r.recovery_rate(), 1.0, "no faults means perfect rate");
+    }
+
+    #[test]
+    fn recovery_rate_and_merge() {
+        let mut a = FaultRecovery {
+            injected_drops: 3,
+            injected_corruptions: 2,
+            retries: 5,
+            backoff_cycles: 900,
+            recovered: 4,
+            fatal: 1,
+            ..FaultRecovery::default()
+        };
+        assert_eq!(a.injected_total(), 5);
+        assert!((a.recovery_rate() - 0.8).abs() < 1e-12);
+        assert!(!a.is_zero());
+        a.merge(&a.clone());
+        assert_eq!(a.retries, 10);
+        assert_eq!(a.backoff_cycles, 1800);
+        assert_eq!(a.recovered, 8);
     }
 }

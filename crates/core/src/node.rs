@@ -213,11 +213,16 @@ impl Node {
     /// what makes E-FAM's translation traffic visible at the FAM
     /// (Fig. 4).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the broker runs out of FAM (the experiments size the
-    /// FAM to fit).
-    pub fn map_page(&mut self, vaddr: VirtAddr, broker: &mut MemoryBroker) {
+    /// Returns the broker's error when the FAM cannot fit another
+    /// demand map (the experiments size the FAM to fit, so callers
+    /// surface this as a configuration mistake, not a crash).
+    pub fn map_page(
+        &mut self,
+        vaddr: VirtAddr,
+        broker: &mut MemoryBroker,
+    ) -> Result<(), BrokerError> {
         let vpage = vaddr.vpage();
         self.faults += 1;
         let go_local = self.placement_rng.chance(self.local_fraction)
@@ -231,9 +236,7 @@ impl Node {
                 Scheme::EFam => {
                     let cookie = self.next_efam_data_cookie;
                     self.next_efam_data_cookie += 1;
-                    let fam_page = broker
-                        .demand_map(self.id, cookie)
-                        .expect("FAM sized to fit the workload");
+                    let fam_page = broker.demand_map(self.id, cookie)?;
                     FAM_KEY_PAGE + fam_page
                 }
                 _ => {
@@ -255,13 +258,19 @@ impl Node {
         let efam_fam_pte = scheme == Scheme::EFam && target_page >= FAM_KEY_PAGE;
         let kernel_next = &mut self.next_kernel_dram_page;
         let kernel_cookie = &mut self.next_efam_kernel_cookie;
+        // The page-table mapper takes an infallible allocator, so the
+        // closure parks any broker failure here and falls back to
+        // kernel DRAM; the error is surfaced after the map call.
+        let mut alloc_err: Option<BrokerError> = None;
         let mut alloc = |level: usize| -> u64 {
             if level == 3 && efam_fam_pte {
-                let fam_page = broker
-                    .demand_map(id, *kernel_cookie)
-                    .expect("FAM sized to fit page tables");
-                *kernel_cookie += 1;
-                return (FAM_KEY_PAGE + fam_page) * 4096;
+                match broker.demand_map(id, *kernel_cookie) {
+                    Ok(fam_page) => {
+                        *kernel_cookie += 1;
+                        return (FAM_KEY_PAGE + fam_page) * 4096;
+                    }
+                    Err(e) => alloc_err = Some(e),
+                }
             }
             let p = *kernel_next;
             *kernel_next -= 1;
@@ -273,6 +282,10 @@ impl Node {
         };
         self.page_table
             .map(vpage, target_page, PtFlags::rw(), &mut alloc);
+        match alloc_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Total instructions retired across cores.
@@ -384,9 +397,12 @@ mod tests {
     fn map_page_installs_mapping() {
         let (mut node, mut broker) = build(Scheme::DeactN);
         let va = VirtAddr(fam_workloads::VA_BASE);
-        node.map_page(va, &mut broker);
+        node.map_page(va, &mut broker).unwrap();
         let pte = node.page_table.translate(va.vpage()).unwrap();
-        assert!(pte.target_page < FAM_ZONE_PAGE || pte.target_page >= FAM_ZONE_PAGE);
+        assert!(
+            pte.target_page < DATA_REGION_PAGES || pte.target_page >= FAM_ZONE_PAGE,
+            "placement must pick the local data region or the FAM zone"
+        );
         assert_eq!(node.faults, 1);
     }
 
@@ -397,7 +413,7 @@ mod tests {
         let mut fam = 0;
         for i in 0..1000 {
             let va = VirtAddr(fam_workloads::VA_BASE + i * 4096);
-            node.map_page(va, &mut broker);
+            node.map_page(va, &mut broker).unwrap();
             let t = node.page_table.translate(va.vpage()).unwrap().target_page;
             if node.is_fam_page(t) {
                 fam += 1;
@@ -417,7 +433,7 @@ mod tests {
         let mut mapped_fam = 0;
         for i in 0..200 {
             let va = VirtAddr(fam_workloads::VA_BASE + i * 4096);
-            node.map_page(va, &mut broker);
+            node.map_page(va, &mut broker).unwrap();
             let t = node.page_table.translate(va.vpage()).unwrap().target_page;
             if t >= FAM_KEY_PAGE {
                 mapped_fam += 1;
@@ -436,7 +452,7 @@ mod tests {
         let mut found_fam_pte = false;
         for i in 0..50 {
             let va = VirtAddr(fam_workloads::VA_BASE + i * (512 * 4096));
-            node.map_page(va, &mut broker);
+            node.map_page(va, &mut broker).unwrap();
             let walk = node.page_table.walk(va.vpage());
             if let Some(step) = walk.steps.last() {
                 if step.entry_addr / 4096 >= FAM_KEY_PAGE {
@@ -452,7 +468,7 @@ mod tests {
         let (mut node, mut broker) = build(Scheme::DeactN);
         for i in 0..50 {
             let va = VirtAddr(fam_workloads::VA_BASE + i * (512 * 4096));
-            node.map_page(va, &mut broker);
+            node.map_page(va, &mut broker).unwrap();
             let walk = node.page_table.walk(va.vpage());
             for step in &walk.steps {
                 assert!(

@@ -3,10 +3,9 @@
 use std::fmt;
 
 use fam_stu::StuOrganization;
-use serde::{Deserialize, Serialize};
 
 /// A FAM virtual-memory scheme (Table I and Fig. 8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Exposed FAM: nodes see raw FAM addresses; fast but insecure and
     /// needs OS changes (Fig. 2a).

@@ -1,15 +1,18 @@
 //! The full-system model and simulation driver.
 
 use fam_broker::{AccessKind, BrokerConfig, MemoryBroker};
+use fam_fabric::packet::{Packet, PacketKind};
 use fam_fabric::Fabric;
 use fam_mem::{MemOpKind, NvmModel};
-use fam_sim::{Cycle, Duration};
+use fam_sim::{Cycle, Duration, FabricFault, FaultInjector};
 use fam_stu::Stu;
 use fam_vm::{Pte, VirtAddr, PAGE_BYTES};
 use fam_workloads::{MemRef, RefStream, TraceGenerator, Workload};
 
-use crate::metrics::{FamTraffic, RunReport};
+use crate::error::SimError;
+use crate::metrics::{FamTraffic, FaultRecovery, RunReport};
 use crate::node::{Node, FAM_KEY_PAGE};
+use crate::translator::{RetryOutcome, RetryState};
 use crate::{Scheme, SystemConfig};
 
 /// A complete FAM system under one scheme: nodes, fabric, STUs, the
@@ -46,6 +49,12 @@ pub struct System {
     stu_lookup: Duration,
     fault_latency: Duration,
     traffic: FamTraffic,
+    /// Deterministic fault injection; a disabled injector costs one
+    /// branch per FAM round trip and nothing else.
+    injector: FaultInjector,
+    /// Response-side recovery accounting (the injected-fault counters
+    /// come from the injector itself at report time).
+    recovery: FaultRecovery,
 }
 
 impl System {
@@ -152,6 +161,8 @@ impl System {
             stu_lookup: Duration(config.stu_lookup_cycles),
             fault_latency: freq.ns_to_cycles(config.fault_ns),
             traffic: FamTraffic::default(),
+            injector: FaultInjector::new(config.fault_injection),
+            recovery: FaultRecovery::default(),
             config,
         }
     }
@@ -188,7 +199,23 @@ impl System {
     }
 
     /// Runs every core to `refs_per_core` references and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run cannot complete (see [`System::try_run`] for
+    /// the non-panicking form).
     pub fn run(&mut self) -> RunReport {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs every core to `refs_per_core` references and reports,
+    /// surfacing failures as a typed [`SimError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FamExhausted`] when the broker cannot
+    /// demand-map another FAM page for the workload.
+    pub fn try_run(&mut self) -> Result<RunReport, SimError> {
         let refs = self.config.refs_per_core;
         loop {
             // Stage one reference per unfinished core, then execute
@@ -215,9 +242,9 @@ impl System {
                 }
             }
             let Some((n, c, _)) = best else { break };
-            self.sim_ref(n, c);
+            self.sim_ref(n, c)?;
         }
-        self.report()
+        Ok(self.report())
     }
 
     /// Draws the next reference of core `c` and predicts its start.
@@ -240,7 +267,7 @@ impl System {
 
     /// Simulates one staged reference of core `c` on node `n` end to
     /// end.
-    fn sim_ref(&mut self, n: usize, c: usize) {
+    fn sim_ref(&mut self, n: usize, c: usize) -> Result<(), SimError> {
         let (r, t) = {
             let core = &mut self.nodes[n].cores[c];
             let p = core
@@ -253,7 +280,7 @@ impl System {
         };
 
         // Node-level translation (TLB → node page-table walk).
-        let (pte, t) = self.translate(n, c, r.vaddr, t);
+        let (pte, t) = self.translate(n, c, r.vaddr, t)?;
         let phys_byte = pte.target_page * PAGE_BYTES + r.vaddr.offset();
         let line = phys_byte / 64;
 
@@ -277,16 +304,20 @@ impl System {
                         let fam_byte = phys_byte - FAM_KEY_PAGE * PAGE_BYTES;
                         self.fam_round_trip(n, completion, fam_byte, kind)
                     }
-                    Scheme::IFam => {
-                        self.ifam_fam_access(n, completion, pte.target_page, r.vaddr.offset(), kind)
-                    }
+                    Scheme::IFam => self.ifam_fam_access(
+                        n,
+                        completion,
+                        pte.target_page,
+                        r.vaddr.offset(),
+                        kind,
+                    )?,
                     Scheme::DeactW | Scheme::DeactN => self.deact_fam_access(
                         n,
                         completion,
                         pte.target_page,
                         r.vaddr.offset(),
                         kind,
-                    ),
+                    )?,
                 }
             } else if r.is_write {
                 self.nodes[n].dram.write(completion, phys_byte)
@@ -303,16 +334,23 @@ impl System {
         core.last_mem_completion = completion;
         core.refs_done += 1;
         core.finish = core.finish.max(completion);
+        Ok(())
     }
 
     /// Node-level translation: TLB, then a page-table walk whose entry
     /// reads replay through the data caches and the right memory.
-    fn translate(&mut self, n: usize, c: usize, vaddr: VirtAddr, t: Cycle) -> (Pte, Cycle) {
+    fn translate(
+        &mut self,
+        n: usize,
+        c: usize,
+        vaddr: VirtAddr,
+        t: Cycle,
+    ) -> Result<(Pte, Cycle), SimError> {
         let vpage = vaddr.vpage();
         let (_, tlb_latency, hit) = self.nodes[n].cores[c].tlb.lookup(vpage);
         let mut t = t + tlb_latency;
         if let Some(pte) = hit {
-            return (pte, t);
+            return Ok((pte, t));
         }
         loop {
             let plan = {
@@ -324,14 +362,15 @@ impl System {
                     // Node-level page fault: the OS installs a mapping.
                     t += self.fault_latency;
                     let node = &mut self.nodes[n];
-                    node.map_page(vaddr, &mut self.broker);
+                    node.map_page(vaddr, &mut self.broker)
+                        .map_err(|source| SimError::FamExhausted { node: n, source })?;
                 }
                 Some(pte) => {
                     for acc in &plan.accesses {
                         t = self.pt_step_access(n, c, acc.entry_addr, t);
                     }
                     self.nodes[n].cores[c].tlb.fill(vpage, pte);
-                    return (pte, t);
+                    return Ok((pte, t));
                 }
             }
         }
@@ -369,8 +408,107 @@ impl System {
     }
 
     /// A node↔FAM round trip for one block: fabric there, device
-    /// service, fabric back.
+    /// service, fabric back. Every FAM request in every scheme funnels
+    /// through here, so this is where injected fabric faults strike
+    /// and where the retry/timeout/backoff machine recovers from them.
     fn fam_round_trip(&mut self, n: usize, t: Cycle, fam_byte: u64, kind: MemOpKind) -> Cycle {
+        if !self.injector.is_enabled() {
+            return self.fam_round_trip_clean(n, t, fam_byte, kind);
+        }
+        let mut t = t;
+        let mut state = RetryState::new();
+        loop {
+            // Scheduled link-down window: the requester sits at the
+            // serializer until the link returns.
+            let up = self.injector.link_up_at(t);
+            self.recovery.link_down_wait_cycles += (up - t).0;
+            t = up;
+            match self.injector.fabric_fault() {
+                None => {
+                    let done = self.fam_round_trip_clean(n, t, fam_byte, kind);
+                    if state.attempts() > 0 {
+                        self.recovery.recovered += 1;
+                    }
+                    return done;
+                }
+                Some(FabricFault::Drop) => {
+                    // The frame left the node (the link was occupied)
+                    // and vanished; the requester burns the timeout.
+                    self.fabric.node_to_fam(t, n);
+                    self.recovery.timeouts += 1;
+                    t += Duration(self.config.retry.timeout_cycles);
+                }
+                Some(FabricFault::Corrupt) => {
+                    // Corrupt the *real* wire frame and let the CRC
+                    // catch it — detection is earned, not assumed. The
+                    // FAM side answers with a corrupt-NACK, costing a
+                    // full fabric round trip with no device service.
+                    let frame = self.corrupted_frame(n, fam_byte, kind, state.attempts());
+                    match Packet::decode(&frame) {
+                        Err(_) => {
+                            self.recovery.nacks_corrupt += 1;
+                            let arrival = self.fabric.node_to_fam(t, n);
+                            t = self.fabric.fam_to_node(
+                                arrival,
+                                n,
+                                fam_fabric::packet::RESPONSE_BYTES as u64,
+                            );
+                        }
+                        Ok(_) => {
+                            // Unreachable with CRC-16 and a single-byte
+                            // flip, but honesty demands the branch: an
+                            // undetected corruption is a delivery.
+                            return self.fam_round_trip_clean(n, t, fam_byte, kind);
+                        }
+                    }
+                }
+            }
+            match state.on_fault(&self.config.retry) {
+                RetryOutcome::Retry { backoff } => {
+                    self.recovery.retries += 1;
+                    self.recovery.backoff_cycles += backoff.0;
+                    t += backoff;
+                }
+                RetryOutcome::GiveUp => {
+                    // Graceful degradation: the access is counted as
+                    // fatal (a real system would raise a poison/MCE)
+                    // but still completes so the run finishes and the
+                    // damage is measurable instead of a crash.
+                    self.recovery.fatal += 1;
+                    return self.fam_round_trip_clean(n, t, fam_byte, kind);
+                }
+            }
+        }
+    }
+
+    /// Encodes the request as its wire packet and applies the
+    /// injector's chosen corruption to it.
+    fn corrupted_frame(&mut self, n: usize, fam_byte: u64, kind: MemOpKind, tag: u32) -> Vec<u8> {
+        let packet = Packet {
+            kind: match kind {
+                MemOpKind::Read => PacketKind::Read,
+                MemOpKind::Write => PacketKind::Write,
+            },
+            source: self.nodes[n].id,
+            addr: fam_byte,
+            verified: true,
+            tag: tag as u16,
+        };
+        let mut frame = packet.encode();
+        let (pos, mask) = self.injector.corruption_site(frame.len());
+        frame[pos] ^= mask;
+        frame
+    }
+
+    /// The fault-free round trip: fabric there, device service,
+    /// fabric back.
+    fn fam_round_trip_clean(
+        &mut self,
+        n: usize,
+        t: Cycle,
+        fam_byte: u64,
+        kind: MemOpKind,
+    ) -> Cycle {
         let module = self.module_of(fam_byte);
         let arrival = self.fabric.node_to_fam(t, n);
         let done = self.nvm[module].access(arrival, fam_byte, kind);
@@ -380,9 +518,17 @@ impl System {
     /// Walks the system page table at the STU, serialized on the
     /// node's single FAM-PTW unit; every entry read is a FAM round
     /// trip counted as AT traffic.
-    fn stu_walk(&mut self, n: usize, t: Cycle, npa_page: u64) -> (u64, Cycle) {
+    fn stu_walk(&mut self, n: usize, t: Cycle, npa_page: u64) -> Result<(u64, Cycle), SimError> {
         let node_id = self.nodes[n].id;
         let mut t = t;
+        // Injected STU stall: the unit is briefly unresponsive (queue
+        // backpressure, firmware hiccup) before the walk begins.
+        if self.injector.is_enabled() {
+            if let Some(stall) = self.injector.stu_stall() {
+                self.recovery.stu_stall_cycles += stall.0;
+                t += stall;
+            }
+        }
         loop {
             match self.stus[n].walk_system_table(&self.broker, node_id, npa_page) {
                 Ok((fam_page, plan)) => {
@@ -393,7 +539,7 @@ impl System {
                         tw = self.fam_round_trip(n, tw, acc.entry_addr, MemOpKind::Read);
                     }
                     self.walker_free[n] = tw;
-                    return (fam_page, tw);
+                    return Ok((fam_page, tw));
                 }
                 Err(_) => {
                     // System-level fault: the STU asks the broker for
@@ -401,7 +547,7 @@ impl System {
                     t += self.fault_latency;
                     self.nodes[n]
                         .system_fault(npa_page, &mut self.broker)
-                        .expect("FAM is sized to fit the workload");
+                        .map_err(|source| SimError::FamExhausted { node: n, source })?;
                 }
             }
         }
@@ -416,7 +562,7 @@ impl System {
         npa_page: u64,
         offset: u64,
         kind: MemOpKind,
-    ) -> Cycle {
+    ) -> Result<Cycle, SimError> {
         let node_id = self.nodes[n].id;
         let acc_kind = access_kind(kind);
         let mut t = t + self.router + self.stu_lookup; // node → STU lookup
@@ -426,7 +572,7 @@ impl System {
                 // Coupled-entry miss: walk serialized at the FAM-PTW
                 // (`stu_walk` handles system faults internally), then
                 // fill the coupled entry.
-                let (fam_page, tw) = self.stu_walk(n, t, npa_page);
+                let (fam_page, tw) = self.stu_walk(n, t, npa_page)?;
                 t = tw;
                 self.stus[n].cache_mut().ifam_fill(npa_page, fam_page);
                 fam_page
@@ -441,7 +587,7 @@ impl System {
             MemOpKind::Write => self.traffic.data_writes += 1,
         }
         let done = self.fam_round_trip(n, t, fam_page * PAGE_BYTES + offset, kind);
-        done + self.router // response back through the router
+        Ok(done + self.router) // response back through the router
     }
 
     /// The DeACT data path (Fig. 6): unverified node-side translation
@@ -453,7 +599,7 @@ impl System {
         npa_page: u64,
         offset: u64,
         kind: MemOpKind,
-    ) -> Cycle {
+    ) -> Result<Cycle, SimError> {
         let node_id = self.nodes[n].id;
         let acc_kind = access_kind(kind);
 
@@ -465,7 +611,7 @@ impl System {
             .dram_addr_of(npa_page);
         let mut t = self.nodes[n].dram.access(t, set_addr) + Duration(1);
 
-        let cached = self.nodes[n]
+        let mut cached = self.nodes[n]
             .translator
             .as_mut()
             .expect("checked above")
@@ -474,6 +620,29 @@ impl System {
             // §III-C: LRU means writing back updated recency bits on
             // every access — an extra DRAM write off the critical path.
             self.nodes[n].dram.write(t, set_addr);
+        }
+
+        // Injected staleness: the broker remapped this page behind the
+        // node's back, so the STU rejects the `V = 1` request with a
+        // stale-NACK (the DeACT verification story — unverified cached
+        // translations are *allowed* to be wrong, and this is the
+        // hardware path that makes that safe). The node invalidates the
+        // cached entry and falls back to the full STU walk below.
+        let mut stale_nacked = false;
+        if cached.is_some() && self.injector.is_enabled() && self.injector.stale_translation() {
+            // The doomed pre-translated request travels node → STU and
+            // the NACK travels back before the node can react.
+            t += self.router + self.stu_lookup + self.router;
+            self.recovery.nacks_stale += 1;
+            self.nodes[n]
+                .translator
+                .as_mut()
+                .expect("checked above")
+                .handle_stale_nack(npa_page);
+            // Invalidation is a read-modify-write of the set's tags.
+            self.nodes[n].dram.write(t, set_addr);
+            cached = None;
+            stale_nacked = true;
         }
         let fam_page = match cached {
             Some(fam_page) => {
@@ -484,8 +653,14 @@ impl System {
             None => {
                 // ④ V = 0: the STU walks on our behalf...
                 t += self.router;
-                let (fam_page, tw) = self.stu_walk(n, t, npa_page);
+                let (fam_page, tw) = self.stu_walk(n, t, npa_page)?;
                 t = tw;
+                if stale_nacked {
+                    // The reissue-as-unverified walk *is* the retry, and
+                    // completing it is the recovery.
+                    self.recovery.retries += 1;
+                    self.recovery.recovered += 1;
+                }
                 // ⑤ ...and returns the mapping; the translator updates
                 // the in-DRAM cache with a read-modify-write that only
                 // occupies the channel (off the critical path).
@@ -531,7 +706,7 @@ impl System {
             let tr = self.nodes[n].translator.as_mut().expect("checked above");
             tr.oml_mut().complete(fam_page);
         }
-        done + self.router
+        Ok(done + self.router)
     }
 
     /// A dirty-line writeback, off the critical path: it occupies the
@@ -621,8 +796,21 @@ impl System {
             dram_reads: self.nodes.iter().map(|n| n.dram.reads()).sum(),
             dram_writes: self.nodes.iter().map(|n| n.dram.writes()).sum(),
             faults: self.nodes.iter().map(|n| n.faults).sum(),
+            recovery: self.recovery_report(),
             refs_per_core: self.config.refs_per_core,
         }
+    }
+
+    /// Combines the injector's view (what was thrown) with the
+    /// system's view (what was done about it).
+    fn recovery_report(&self) -> FaultRecovery {
+        let mut r = self.recovery;
+        let injected = self.injector.stats();
+        r.injected_drops = injected.drops.value();
+        r.injected_corruptions = injected.corruptions.value();
+        r.injected_stale = injected.stale_marks.value();
+        r.injected_stu_stalls = injected.stu_stalls.value();
+        r
     }
 }
 
@@ -650,9 +838,25 @@ fn access_kind(kind: MemOpKind) -> AccessKind {
 /// assert_eq!(r.workload, "pf");
 /// ```
 pub fn run_benchmark(name: &str, config: SystemConfig) -> RunReport {
-    let workload = Workload::by_name(name)
-        .unwrap_or_else(|| panic!("unknown benchmark {name}; see Table III"));
-    System::new(config, &workload).run()
+    try_run_benchmark(name, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`run_benchmark`]: returns a typed [`SimError`]
+/// instead of panicking, so binaries can exit with a readable message.
+///
+/// # Examples
+///
+/// ```
+/// use deact::{try_run_benchmark, SimError, SystemConfig};
+///
+/// let err = try_run_benchmark("doom", SystemConfig::paper_default()).unwrap_err();
+/// assert!(matches!(err, SimError::UnknownBenchmark { .. }));
+/// ```
+pub fn try_run_benchmark(name: &str, config: SystemConfig) -> Result<RunReport, SimError> {
+    let workload = Workload::by_name(name).ok_or_else(|| SimError::UnknownBenchmark {
+        name: name.to_string(),
+    })?;
+    System::new(config, &workload).try_run()
 }
 
 #[cfg(test)]
@@ -798,13 +1002,22 @@ mod tests {
 
     #[test]
     fn multi_module_fam_distributes_traffic() {
+        // Single core: the reference stream's execution order is then
+        // timing-independent, so module count (which only changes
+        // contention) must leave functional traffic bit-identical.
         let cfg = quick(Scheme::EFam)
+            .with_cores_per_node(1)
             .with_fam_modules(4)
             .with_refs_per_core(1_000);
         let r = run_benchmark("pf", cfg);
         assert!(r.fam.data_reads > 0);
         // Same run, one module: identical functional traffic.
-        let single = run_benchmark("pf", quick(Scheme::EFam).with_refs_per_core(1_000));
+        let single = run_benchmark(
+            "pf",
+            quick(Scheme::EFam)
+                .with_cores_per_node(1)
+                .with_refs_per_core(1_000),
+        );
         assert_eq!(r.fam.data_reads, single.fam.data_reads);
     }
 

@@ -1,8 +1,127 @@
-//! The FAM translator and its in-DRAM translation cache (Figs. 6–7).
+//! The FAM translator and its in-DRAM translation cache (Figs. 6–7),
+//! plus the node-side retry/timeout/backoff machinery that recovers
+//! from fabric faults and stale-translation NACKs.
 
 use fam_mem::{CacheConfig, Replacement, SetAssocCache};
 use fam_sim::stats::{Counter, Ratio};
-use serde::{Deserialize, Serialize};
+use fam_sim::Duration;
+
+/// Retry policy for FAM requests that bounce (timeout on a dropped
+/// frame, corrupt-NACK, stale-NACK). Exponential backoff, capped:
+/// attempt `k` waits `min(base << k, cap)` cycles before reissuing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Retries before a request is declared fatal (the original
+    /// attempt is not counted).
+    pub max_retries: u32,
+    /// Cycles a requester waits for a response before presuming the
+    /// frame dropped (covers the fabric round trip plus device
+    /// service with margin at Table II latencies).
+    pub timeout_cycles: u64,
+    /// First backoff step in cycles.
+    pub backoff_base_cycles: u64,
+    /// Backoff ceiling in cycles.
+    pub backoff_cap_cycles: u64,
+}
+
+impl RetryConfig {
+    /// Checks knob sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backoff base is zero or exceeds the cap.
+    pub fn validate(&self) {
+        assert!(
+            self.backoff_base_cycles > 0,
+            "backoff base must be non-zero"
+        );
+        assert!(
+            self.backoff_base_cycles <= self.backoff_cap_cycles,
+            "backoff base must not exceed the cap"
+        );
+    }
+
+    /// Backoff before retry number `attempt` (1-based): exponential,
+    /// capped, saturating.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        // Saturate on *value* overflow, not just shift-amount overflow:
+        // `checked_shl` happily wraps bits off the top.
+        let shift = attempt.saturating_sub(1);
+        let shifted = if shift >= self.backoff_base_cycles.leading_zeros() {
+            u64::MAX
+        } else {
+            self.backoff_base_cycles << shift
+        };
+        Duration(shifted.min(self.backoff_cap_cycles))
+    }
+}
+
+impl Default for RetryConfig {
+    fn default() -> RetryConfig {
+        RetryConfig {
+            max_retries: 4,
+            timeout_cycles: 10_000,
+            backoff_base_cycles: 500,
+            backoff_cap_cycles: 8_000,
+        }
+    }
+}
+
+/// What the retry state machine decided after a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryOutcome {
+    /// Reissue after waiting out the backoff.
+    Retry {
+        /// Backoff to charge before the reissue.
+        backoff: Duration,
+    },
+    /// The retry budget is exhausted; the caller degrades gracefully.
+    GiveUp,
+}
+
+/// Per-request retry state: counts attempts and hands out backoffs
+/// until the budget runs dry.
+///
+/// # Examples
+///
+/// ```
+/// use deact::{RetryConfig, RetryOutcome, RetryState};
+///
+/// let cfg = RetryConfig::default();
+/// let mut s = RetryState::new();
+/// let RetryOutcome::Retry { backoff } = s.on_fault(&cfg) else {
+///     panic!("first fault retries");
+/// };
+/// assert_eq!(backoff.0, cfg.backoff_base_cycles);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetryState {
+    attempts: u32,
+}
+
+impl RetryState {
+    /// Fresh state: no faults seen yet.
+    pub fn new() -> RetryState {
+        RetryState::default()
+    }
+
+    /// Retries consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Advances the machine on one fault: either grants a retry with
+    /// its backoff, or reports the budget exhausted.
+    pub fn on_fault(&mut self, config: &RetryConfig) -> RetryOutcome {
+        if self.attempts >= config.max_retries {
+            return RetryOutcome::GiveUp;
+        }
+        self.attempts += 1;
+        RetryOutcome::Retry {
+            backoff: config.backoff(self.attempts),
+        }
+    }
+}
 
 /// Entries per 64-byte translation-cache set: four 104-bit entries
 /// (52-bit tag + 52-bit value) fit in one memory access (§III-C).
@@ -78,7 +197,7 @@ impl OutstandingMappingList {
 }
 
 /// Statistics the translator reports.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct TranslatorStats {
     /// Translation-cache lookups (one DRAM read each).
     pub lookups: Counter,
@@ -86,6 +205,9 @@ pub struct TranslatorStats {
     pub updates: Counter,
     /// Mapping responses received from the STU.
     pub mapping_responses: Counter,
+    /// Cached entries invalidated on a stale-translation NACK — the
+    /// DeACT `V`-flag verification story actually firing.
+    pub stale_invalidations: Counter,
 }
 
 /// The FAM translator in the node's memory controller (Fig. 7).
@@ -202,6 +324,16 @@ impl FamTranslator {
         self.cache.invalidate(npa_page).is_some()
     }
 
+    /// Handles a stale-translation NACK from the STU: the unverified
+    /// cached mapping the node forwarded with `V = 1` was rejected, so
+    /// the entry is evicted and the caller must fall back to the full
+    /// STU walk (§III-C — exactly the recovery the `V` flag exists
+    /// for). Returns whether an entry was actually evicted.
+    pub fn handle_stale_nack(&mut self, npa_page: u64) -> bool {
+        self.stats.stale_invalidations.inc();
+        self.invalidate(npa_page)
+    }
+
     /// The outstanding-mapping list.
     pub fn oml_mut(&mut self) -> &mut OutstandingMappingList {
         &mut self.oml
@@ -316,5 +448,56 @@ mod tests {
     #[should_panic(expected = "at least one set")]
     fn tiny_cache_rejected() {
         let _ = FamTranslator::new(32, 0, 128, 0);
+    }
+
+    #[test]
+    fn stale_nack_evicts_and_counts() {
+        let mut t = translator();
+        t.install(7, 70);
+        assert!(t.handle_stale_nack(7));
+        assert_eq!(t.lookup(7), None, "stale entry must be gone");
+        assert!(!t.handle_stale_nack(7), "second NACK finds nothing");
+        assert_eq!(t.stats().stale_invalidations.value(), 2);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let cfg = RetryConfig {
+            max_retries: 10,
+            backoff_base_cycles: 100,
+            backoff_cap_cycles: 1_000,
+            ..RetryConfig::default()
+        };
+        assert_eq!(cfg.backoff(1).0, 100);
+        assert_eq!(cfg.backoff(2).0, 200);
+        assert_eq!(cfg.backoff(3).0, 400);
+        assert_eq!(cfg.backoff(4).0, 800);
+        assert_eq!(cfg.backoff(5).0, 1_000, "cap binds");
+        assert_eq!(cfg.backoff(63).0, 1_000, "shift overflow saturates");
+    }
+
+    #[test]
+    fn retry_state_machine_exhausts_budget() {
+        let cfg = RetryConfig {
+            max_retries: 2,
+            ..RetryConfig::default()
+        };
+        let mut s = RetryState::new();
+        assert!(matches!(s.on_fault(&cfg), RetryOutcome::Retry { .. }));
+        assert!(matches!(s.on_fault(&cfg), RetryOutcome::Retry { .. }));
+        assert_eq!(s.attempts(), 2);
+        assert_eq!(s.on_fault(&cfg), RetryOutcome::GiveUp);
+        assert_eq!(s.attempts(), 2, "give-up consumes no attempt");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed the cap")]
+    fn inverted_backoff_rejected() {
+        RetryConfig {
+            backoff_base_cycles: 100,
+            backoff_cap_cycles: 10,
+            ..RetryConfig::default()
+        }
+        .validate();
     }
 }

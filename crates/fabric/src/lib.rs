@@ -30,10 +30,9 @@ pub mod packet;
 
 use fam_sim::stats::Counter;
 use fam_sim::{Cycle, Duration, Frequency, Resource};
-use serde::{Deserialize, Serialize};
 
 /// Fabric timing parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FabricConfig {
     /// One-way traversal latency in nanoseconds (paper default:
     /// 500 ns; Fig. 15 sweeps 100 ns – 6 µs).

@@ -5,13 +5,16 @@
 //! untranslated ones (walk-needed) — §III-C, "Handling Translation
 //! Misses". Giving the packet a real wire encoding pins down that the
 //! flag costs one bit, and lets tests assert the STU dispatches on it.
+//!
+//! Every frame carries a CRC-16 trailer so in-flight corruption is
+//! *detected*, not assumed away: a corrupted request decodes to
+//! [`DecodePacketError::ChecksumMismatch`] and the FAM side answers
+//! with a [`Nack`], driving the node-side retry machinery.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use fam_vm::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// What a fabric packet asks the FAM side to do.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PacketKind {
     /// A data read of one 64-byte block.
     Read,
@@ -44,6 +47,107 @@ impl PacketKind {
     }
 }
 
+/// Why the FAM side rejected a request (the negative-acknowledgement
+/// variants a real Gen-Z/CXL-style fabric distinguishes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Nack {
+    /// The pre-translated (`V = 1`) address no longer maps to a page
+    /// the node may use: the cached translation is stale and must be
+    /// invalidated, then re-resolved through the STU walk path.
+    Stale,
+    /// The request frame failed its CRC at the receiver.
+    Corrupt,
+    /// The request (or its response) never arrived inside the timeout
+    /// window — congestion or a dropped flit.
+    Timeout,
+}
+
+impl Nack {
+    /// All NACK variants, for exhaustive tests and sweeps.
+    pub const ALL: [Nack; 3] = [Nack::Stale, Nack::Corrupt, Nack::Timeout];
+
+    fn code(self) -> u8 {
+        match self {
+            Nack::Stale => 0,
+            Nack::Corrupt => 1,
+            Nack::Timeout => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<Nack> {
+        Some(match c {
+            0 => Nack::Stale,
+            1 => Nack::Corrupt,
+            2 => Nack::Timeout,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Nack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Nack::Stale => "stale-translation",
+            Nack::Corrupt => "corrupt-frame",
+            Nack::Timeout => "timeout",
+        })
+    }
+}
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF), computed bitwise.
+/// Any burst error of 16 bits or fewer — in particular any single
+/// corrupted byte — is guaranteed to change the checksum.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn get_u16(wire: &[u8], at: usize) -> u16 {
+    u16::from_be_bytes([wire[at], wire[at + 1]])
+}
+
+fn get_u64(wire: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&wire[at..at + 8]);
+    u64::from_be_bytes(b)
+}
+
+/// Appends the CRC trailer over everything already in `buf`.
+fn seal(mut buf: Vec<u8>) -> Vec<u8> {
+    let crc = crc16(&buf);
+    put_u16(&mut buf, crc);
+    buf
+}
+
+/// Verifies the CRC trailer of `wire` (last two bytes).
+fn check_crc(wire: &[u8]) -> Result<(), DecodePacketError> {
+    let body = wire.len() - 2;
+    let expected = crc16(&wire[..body]);
+    let found = get_u16(wire, body);
+    if expected != found {
+        return Err(DecodePacketError::ChecksumMismatch { expected, found });
+    }
+    Ok(())
+}
+
 /// A memory-semantic request packet as it crosses the fabric.
 ///
 /// `verified` is DeACT's `V` flag: set by the FAM translator when
@@ -64,10 +168,10 @@ impl PacketKind {
 ///     verified: true,
 ///     tag: 17,
 /// };
-/// let decoded = Packet::decode(p.encode()).unwrap();
+/// let decoded = Packet::decode(&p.encode()).unwrap();
 /// assert_eq!(decoded, p);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
     /// Operation requested.
     pub kind: PacketKind,
@@ -91,6 +195,13 @@ pub enum DecodePacketError {
     UnknownKind(u8),
     /// The node-id field holds the reserved shared marker or worse.
     BadNodeId(u16),
+    /// The CRC trailer does not match the frame contents.
+    ChecksumMismatch {
+        /// CRC recomputed over the received body.
+        expected: u16,
+        /// CRC carried in the trailer.
+        found: u16,
+    },
 }
 
 impl std::fmt::Display for DecodePacketError {
@@ -99,6 +210,12 @@ impl std::fmt::Display for DecodePacketError {
             DecodePacketError::Truncated => write!(f, "packet truncated"),
             DecodePacketError::UnknownKind(c) => write!(f, "unknown packet kind {c}"),
             DecodePacketError::BadNodeId(n) => write!(f, "invalid node id {n}"),
+            DecodePacketError::ChecksumMismatch { expected, found } => {
+                write!(
+                    f,
+                    "checksum mismatch: computed {expected:#06x}, wire carries {found:#06x}"
+                )
+            }
         }
     }
 }
@@ -106,42 +223,45 @@ impl std::fmt::Display for DecodePacketError {
 impl std::error::Error for DecodePacketError {}
 
 /// Encoded packet size in bytes: kind(1) + flags(1) + node(2) + tag(2)
-/// + addr(8).
-pub const PACKET_BYTES: usize = 14;
+/// + addr(8) + crc(2).
+pub const PACKET_BYTES: usize = 16;
 
 impl Packet {
-    /// Serializes the packet to its wire form.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(PACKET_BYTES);
-        buf.put_u8(self.kind.code());
-        buf.put_u8(self.verified as u8);
-        buf.put_u16(self.source.raw());
-        buf.put_u16(self.tag);
-        buf.put_u64(self.addr);
-        buf.freeze()
+    /// Serializes the packet to its wire form, CRC trailer included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(PACKET_BYTES);
+        buf.push(self.kind.code());
+        buf.push(self.verified as u8);
+        put_u16(&mut buf, self.source.raw());
+        put_u16(&mut buf, self.tag);
+        put_u64(&mut buf, self.addr);
+        seal(buf)
     }
 
-    /// Parses a packet from its wire form.
+    /// Parses a packet from its wire form, verifying the CRC trailer
+    /// first — a flipped bit anywhere in the frame is rejected before
+    /// any field is interpreted.
     ///
     /// # Errors
     ///
-    /// Returns [`DecodePacketError`] if the buffer is truncated or any
-    /// field is out of range.
-    pub fn decode(mut wire: Bytes) -> Result<Packet, DecodePacketError> {
+    /// Returns [`DecodePacketError`] if the buffer is truncated, fails
+    /// its checksum, or any field is out of range.
+    pub fn decode(wire: &[u8]) -> Result<Packet, DecodePacketError> {
         if wire.len() < PACKET_BYTES {
             return Err(DecodePacketError::Truncated);
         }
-        let kind_code = wire.get_u8();
+        check_crc(&wire[..PACKET_BYTES])?;
+        let kind_code = wire[0];
         let kind =
             PacketKind::from_code(kind_code).ok_or(DecodePacketError::UnknownKind(kind_code))?;
-        let verified = wire.get_u8() != 0;
-        let raw_node = wire.get_u16();
+        let verified = wire[1] != 0;
+        let raw_node = get_u16(wire, 2);
         if raw_node >= NodeId::SHARED_MARKER {
             return Err(DecodePacketError::BadNodeId(raw_node));
         }
         let source = NodeId::new(raw_node);
-        let tag = wire.get_u16();
-        let addr = wire.get_u64();
+        let tag = get_u16(wire, 4);
+        let addr = get_u64(wire, 6);
         Ok(Packet {
             kind,
             source,
@@ -149,6 +269,89 @@ impl Packet {
             verified,
             tag,
         })
+    }
+}
+
+/// Encoded response size in bytes: status(1) + nack(1) + tag(2) +
+/// addr(8) + crc(2).
+pub const RESPONSE_BYTES: usize = 14;
+
+/// A FAM-side response frame: either an acknowledgement carrying the
+/// (FAM) address the data belongs to, or a [`Nack`] telling the node
+/// why the request was rejected and must be retried or re-resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response {
+    /// The request was served; `addr` tags the data block, `tag`
+    /// matches the outstanding-mapping list entry.
+    Ack {
+        /// Request tag being answered.
+        tag: u16,
+        /// FAM address of the data returned.
+        addr: u64,
+    },
+    /// The request was rejected; the node must recover.
+    Nack {
+        /// Why the request bounced.
+        nack: Nack,
+        /// Request tag being answered.
+        tag: u16,
+        /// Address the rejected request named.
+        addr: u64,
+    },
+}
+
+impl Response {
+    /// The tag this response answers.
+    pub fn tag(&self) -> u16 {
+        match *self {
+            Response::Ack { tag, .. } | Response::Nack { tag, .. } => tag,
+        }
+    }
+
+    /// Serializes the response, CRC trailer included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(RESPONSE_BYTES);
+        match *self {
+            Response::Ack { tag, addr } => {
+                buf.push(0);
+                buf.push(0);
+                put_u16(&mut buf, tag);
+                put_u64(&mut buf, addr);
+            }
+            Response::Nack { nack, tag, addr } => {
+                buf.push(1);
+                buf.push(nack.code());
+                put_u16(&mut buf, tag);
+                put_u64(&mut buf, addr);
+            }
+        }
+        seal(buf)
+    }
+
+    /// Parses a response from its wire form, verifying the CRC first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodePacketError`] on truncation, checksum failure,
+    /// or an unknown status/NACK code (reported as [`UnknownKind`]).
+    ///
+    /// [`UnknownKind`]: DecodePacketError::UnknownKind
+    pub fn decode(wire: &[u8]) -> Result<Response, DecodePacketError> {
+        if wire.len() < RESPONSE_BYTES {
+            return Err(DecodePacketError::Truncated);
+        }
+        check_crc(&wire[..RESPONSE_BYTES])?;
+        let tag = get_u16(wire, 2);
+        let addr = get_u64(wire, 4);
+        match wire[0] {
+            0 => Ok(Response::Ack { tag, addr }),
+            1 => {
+                let nack =
+                    Nack::from_code(wire[1]).ok_or(DecodePacketError::UnknownKind(wire[1]))?;
+                Ok(Response::Nack { nack, tag, addr })
+            }
+            other => Err(DecodePacketError::UnknownKind(other)),
+        }
     }
 }
 
@@ -176,7 +379,7 @@ mod tests {
         ] {
             for verified in [false, true] {
                 let p = sample(kind, verified);
-                assert_eq!(Packet::decode(p.encode()).unwrap(), p);
+                assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
             }
         }
     }
@@ -188,28 +391,38 @@ mod tests {
 
     #[test]
     fn truncated_buffer_rejected() {
-        let mut wire = sample(PacketKind::Read, true).encode();
-        let short = wire.split_to(PACKET_BYTES - 1);
-        assert_eq!(Packet::decode(short), Err(DecodePacketError::Truncated));
+        let wire = sample(PacketKind::Read, true).encode();
+        assert_eq!(
+            Packet::decode(&wire[..PACKET_BYTES - 1]),
+            Err(DecodePacketError::Truncated)
+        );
+    }
+
+    /// Rewrites a field byte and re-seals the CRC, so decode errors
+    /// past the checksum stage can be exercised.
+    fn reseal(mut raw: Vec<u8>) -> Vec<u8> {
+        let crc = crc16(&raw[..PACKET_BYTES - 2]);
+        raw[PACKET_BYTES - 2..].copy_from_slice(&crc.to_be_bytes());
+        raw
     }
 
     #[test]
     fn unknown_kind_rejected() {
-        let mut raw = BytesMut::from(&sample(PacketKind::Read, true).encode()[..]);
+        let mut raw = sample(PacketKind::Read, true).encode();
         raw[0] = 0xFF;
         assert_eq!(
-            Packet::decode(raw.freeze()),
+            Packet::decode(&reseal(raw)),
             Err(DecodePacketError::UnknownKind(0xFF))
         );
     }
 
     #[test]
     fn bad_node_id_rejected() {
-        let mut raw = BytesMut::from(&sample(PacketKind::Read, true).encode()[..]);
+        let mut raw = sample(PacketKind::Read, true).encode();
         raw[2] = 0x3F;
         raw[3] = 0xFF; // node id 0x3FFF = shared marker
         assert_eq!(
-            Packet::decode(raw.freeze()),
+            Packet::decode(&reseal(raw)),
             Err(DecodePacketError::BadNodeId(0x3FFF))
         );
     }
@@ -223,8 +436,79 @@ mod tests {
     }
 
     #[test]
+    fn every_single_byte_corruption_fails_the_checksum() {
+        let wire = sample(PacketKind::Write, true).encode();
+        for pos in 0..PACKET_BYTES {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut bad = wire.clone();
+                bad[pos] ^= flip;
+                assert!(
+                    matches!(
+                        Packet::decode(&bad),
+                        Err(DecodePacketError::ChecksumMismatch { .. })
+                    ),
+                    "byte {pos} xor {flip:#04x} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn response_roundtrip_ack_and_all_nacks() {
+        let ack = Response::Ack {
+            tag: 7,
+            addr: 0x1234_5678,
+        };
+        assert_eq!(Response::decode(&ack.encode()).unwrap(), ack);
+        assert_eq!(ack.tag(), 7);
+        for nack in Nack::ALL {
+            let r = Response::Nack {
+                nack,
+                tag: 9,
+                addr: 0xAAAA,
+            };
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+            assert_eq!(r.tag(), 9);
+            assert!(!nack.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn response_corruption_detected() {
+        let wire = Response::Nack {
+            nack: Nack::Stale,
+            tag: 1,
+            addr: 2,
+        }
+        .encode();
+        for pos in 0..RESPONSE_BYTES {
+            let mut bad = wire.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                matches!(
+                    Response::decode(&bad),
+                    Err(DecodePacketError::ChecksumMismatch { .. })
+                ),
+                "byte {pos} slipped through"
+            );
+        }
+    }
+
+    #[test]
     fn error_display_nonempty() {
         assert!(!DecodePacketError::Truncated.to_string().is_empty());
         assert!(DecodePacketError::UnknownKind(9).to_string().contains('9'));
+        let msg = DecodePacketError::ChecksumMismatch {
+            expected: 1,
+            found: 2,
+        }
+        .to_string();
+        assert!(msg.contains("checksum"));
     }
 }

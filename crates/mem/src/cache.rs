@@ -2,14 +2,13 @@
 
 use fam_sim::stats::Ratio;
 use fam_sim::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Replacement policy for a [`SetAssocCache`].
 ///
 /// The paper's data caches and TLBs use LRU (Table II); the in-DRAM FAM
 /// translation cache uses random replacement because tracking recency
 /// would require extra DRAM writes (§III-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Replacement {
     /// Evict the least-recently-used way.
     Lru,
@@ -18,7 +17,7 @@ pub enum Replacement {
 }
 
 /// Geometry and policy of a [`SetAssocCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Number of sets (must be non-zero).
     pub sets: usize,

@@ -2,12 +2,11 @@
 
 use fam_sim::stats::Ratio;
 use fam_sim::Duration;
-use serde::{Deserialize, Serialize};
 
 use crate::{CacheConfig, SetAssocCache};
 
 /// Which cache level serviced an access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HitLevel {
     /// Private per-core L1.
     L1,
@@ -33,7 +32,7 @@ pub struct LookupResult {
 
 /// Geometry and latencies of the L1/L2/L3 hierarchy (Table II:
 /// 32 KB / 256 KB / 1 MB, 64 B blocks, LRU, inclusive).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// L1 capacity in bytes.
     pub l1_bytes: u64,

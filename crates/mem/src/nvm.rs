@@ -2,10 +2,9 @@
 
 use fam_sim::stats::Counter;
 use fam_sim::{BankedResource, Cycle, Duration, Frequency, Window};
-use serde::{Deserialize, Serialize};
 
 /// Whether a memory operation reads or writes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemOpKind {
     /// A load / read.
     Read,
@@ -21,7 +20,7 @@ impl MemOpKind {
 }
 
 /// Configuration of the FAM NVM device (Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NvmConfig {
     /// Read latency in nanoseconds (paper: 60 ns).
     pub read_ns: u64,

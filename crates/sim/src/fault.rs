@@ -1,0 +1,421 @@
+//! Deterministic, seed-driven fault injection for the simulation
+//! substrate.
+//!
+//! Real fabric-attached-memory interconnects see transient link
+//! errors, congestion-induced timeouts, and stale-mapping rejections;
+//! a virtual-memory scheme for FAM is only credible if its recovery
+//! half is exercised. This module provides the substrate-level
+//! [`FaultInjector`]: timing models ask it whether a traversal is
+//! dropped or corrupted, whether a link is inside a scheduled
+//! down-window, whether the STU momentarily stalls, and whether a
+//! cached translation has gone stale.
+//!
+//! Two properties are load-bearing:
+//!
+//! * **Determinism** — all probabilistic draws come from one seeded
+//!   [`SimRng`] consumed in simulation order, and link-down windows are
+//!   computed arithmetically from the seed (no RNG state consumed), so
+//!   the same seed always yields a bit-identical fault schedule.
+//! * **Zero cost when disabled** — a disabled injector is never
+//!   consulted beyond one branch on [`FaultInjector::is_enabled`]; no
+//!   RNG state advances and no timing changes, so runs with injection
+//!   off are identical to runs built without the injector at all.
+
+use crate::stats::Counter;
+use crate::{Cycle, Duration, SimRng};
+
+/// What happened to one fabric traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FabricFault {
+    /// The request (or its response) vanished; the sender times out.
+    Drop,
+    /// The frame arrived with flipped bits; the receiver's CRC check
+    /// rejects it and a corrupt-NACK travels back.
+    Corrupt,
+}
+
+/// Injector knobs. The default is fully disabled and adds no cost.
+///
+/// Probabilities are per *fabric traversal* (or per translator hit for
+/// `stale_prob`); the link-down schedule is periodic with a
+/// seed-derived jitter per window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Master switch; `false` makes every query a no-op.
+    pub enabled: bool,
+    /// Seed of the injector's private RNG (independent of the
+    /// workload seed so fault schedules can be varied in isolation).
+    pub seed: u64,
+    /// Probability a traversal is silently dropped (recovered by
+    /// timeout + retry).
+    pub drop_prob: f64,
+    /// Probability a traversal arrives corrupted (recovered by
+    /// CRC-detect + NACK + retry).
+    pub corrupt_prob: f64,
+    /// Probability a node-cached FAM translation is stale when used
+    /// (recovered by invalidate + full STU walk — DeACT's `V`-flag
+    /// verification story).
+    pub stale_prob: f64,
+    /// Probability the STU stalls on a verification or walk request.
+    pub stu_stall_prob: f64,
+    /// Cycles one STU stall lasts.
+    pub stu_stall_cycles: u64,
+    /// Cycles between scheduled transient link-down windows
+    /// (`0` = no windows).
+    pub link_down_period: u64,
+    /// Cycles each link-down window lasts.
+    pub link_down_cycles: u64,
+}
+
+impl FaultConfig {
+    /// The all-off configuration (also [`Default`]).
+    pub fn disabled() -> FaultConfig {
+        FaultConfig {
+            enabled: false,
+            seed: 0,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            stale_prob: 0.0,
+            stu_stall_prob: 0.0,
+            stu_stall_cycles: 0,
+            link_down_period: 0,
+            link_down_cycles: 0,
+        }
+    }
+
+    /// A transient-fault-only profile: every injected fault is
+    /// recoverable with bounded retries — drops, corruptions, stale
+    /// translations and short STU stalls at rates high enough to
+    /// exercise every recovery path in a short run.
+    pub fn transient(seed: u64) -> FaultConfig {
+        FaultConfig {
+            enabled: true,
+            seed,
+            drop_prob: 0.01,
+            corrupt_prob: 0.01,
+            stale_prob: 0.005,
+            stu_stall_prob: 0.01,
+            stu_stall_cycles: 200,
+            link_down_period: 2_000_000,
+            link_down_cycles: 10_000,
+        }
+    }
+
+    /// Checks knob ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability lies outside `[0, 1]`, or if the sum
+    /// of drop and corrupt probabilities exceeds 1 (they are drawn
+    /// from one partitioned uniform sample).
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("corrupt_prob", self.corrupt_prob),
+            ("stale_prob", self.stale_prob),
+            ("stu_stall_prob", self.stu_stall_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be a probability");
+        }
+        assert!(
+            self.drop_prob + self.corrupt_prob <= 1.0,
+            "drop_prob + corrupt_prob must not exceed 1"
+        );
+        if self.link_down_period > 0 {
+            assert!(
+                self.link_down_cycles < self.link_down_period,
+                "link-down windows must be shorter than their period"
+            );
+        }
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig::disabled()
+    }
+}
+
+/// Counts of faults the injector actually produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Traversals dropped.
+    pub drops: Counter,
+    /// Traversals corrupted.
+    pub corruptions: Counter,
+    /// Translator entries declared stale.
+    pub stale_marks: Counter,
+    /// STU stalls injected.
+    pub stu_stalls: Counter,
+    /// Traversals that arrived during a link-down window and waited.
+    pub link_down_waits: Counter,
+}
+
+/// The substrate fault injector. See the module docs for the
+/// determinism and zero-cost-when-disabled contracts.
+///
+/// # Examples
+///
+/// ```
+/// use fam_sim::{Cycle, FaultConfig, FaultInjector};
+///
+/// let mut a = FaultInjector::new(FaultConfig::transient(7));
+/// let mut b = FaultInjector::new(FaultConfig::transient(7));
+/// for _ in 0..1000 {
+///     assert_eq!(a.fabric_fault(), b.fabric_fault());
+/// }
+///
+/// let mut off = FaultInjector::disabled();
+/// assert!(!off.is_enabled());
+/// assert_eq!(off.fabric_fault(), None);
+/// assert_eq!(off.link_up_at(Cycle(123)), Cycle(123));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: SimRng,
+    stats: FaultStats,
+}
+
+/// Stateless 64-bit mix (SplitMix64 finalizer) for per-window jitter.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector {
+    /// Creates an injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range knobs (see [`FaultConfig::validate`]).
+    pub fn new(config: FaultConfig) -> FaultInjector {
+        config.validate();
+        FaultInjector {
+            rng: SimRng::seeded(config.seed ^ 0xFA_017),
+            config,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// An injector that never fires.
+    pub fn disabled() -> FaultInjector {
+        FaultInjector::new(FaultConfig::disabled())
+    }
+
+    /// Whether any fault can ever fire. Callers on hot paths branch on
+    /// this once and skip all other queries when it is `false`.
+    pub fn is_enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> FaultConfig {
+        self.config
+    }
+
+    /// Draws the fate of one fabric traversal. `None` means delivered
+    /// intact. Disabled injectors always deliver and consume no RNG
+    /// state.
+    pub fn fabric_fault(&mut self) -> Option<FabricFault> {
+        if !self.config.enabled || (self.config.drop_prob == 0.0 && self.config.corrupt_prob == 0.0)
+        {
+            return None;
+        }
+        let u = self.rng.unit();
+        if u < self.config.drop_prob {
+            self.stats.drops.inc();
+            Some(FabricFault::Drop)
+        } else if u < self.config.drop_prob + self.config.corrupt_prob {
+            self.stats.corruptions.inc();
+            Some(FabricFault::Corrupt)
+        } else {
+            None
+        }
+    }
+
+    /// Start of link-down window `k` (`k >= 1`): `k * period` plus a
+    /// seed-derived jitter of up to a quarter period, so windows are
+    /// scheduled, not metronomic, yet fully determined by the seed.
+    fn window_start(&self, k: u64) -> u64 {
+        let period = self.config.link_down_period;
+        k * period + mix(self.config.seed ^ k) % (period / 4).max(1)
+    }
+
+    /// When the link is next usable at `now`: `now` itself if the link
+    /// is up, otherwise the end of the scheduled down-window covering
+    /// `now` (counted as a wait).
+    pub fn link_up_at(&mut self, now: Cycle) -> Cycle {
+        if !self.config.enabled || self.config.link_down_period == 0 {
+            return now;
+        }
+        let k = now.0 / self.config.link_down_period;
+        if k == 0 {
+            return now;
+        }
+        let start = self.window_start(k);
+        if now.0 >= start && now.0 < start + self.config.link_down_cycles {
+            self.stats.link_down_waits.inc();
+            Cycle(start + self.config.link_down_cycles)
+        } else {
+            now
+        }
+    }
+
+    /// Draws whether the STU stalls on this request, and for how long.
+    pub fn stu_stall(&mut self) -> Option<Duration> {
+        if !self.config.enabled || self.config.stu_stall_prob == 0.0 {
+            return None;
+        }
+        if self.rng.chance(self.config.stu_stall_prob) {
+            self.stats.stu_stalls.inc();
+            Some(Duration(self.config.stu_stall_cycles))
+        } else {
+            None
+        }
+    }
+
+    /// Draws where to corrupt a frame of `frame_len` bytes: a byte
+    /// position and a non-zero XOR mask. Callers apply it to the real
+    /// encoded frame so corruption is *detected* by the wire checksum,
+    /// not assumed.
+    pub fn corruption_site(&mut self, frame_len: usize) -> (usize, u8) {
+        let pos = self.rng.index(frame_len.max(1));
+        let mask = 1 + self.rng.below(255) as u8;
+        (pos, mask)
+    }
+
+    /// Draws whether a node-cached translation is stale when consumed
+    /// (triggering the NACK-stale → invalidate → re-walk recovery).
+    pub fn stale_translation(&mut self) -> bool {
+        if !self.config.enabled || self.config.stale_prob == 0.0 {
+            return false;
+        }
+        let stale = self.rng.chance(self.config.stale_prob);
+        if stale {
+            self.stats.stale_marks.inc();
+        }
+        stale
+    }
+
+    /// Counts of faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Total faults of all kinds injected so far.
+    pub fn injected_total(&self) -> u64 {
+        let s = self.stats;
+        s.drops.value() + s.corruptions.value() + s.stale_marks.value() + s.stu_stalls.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_is_inert_and_consumes_no_rng() {
+        let mut i = FaultInjector::disabled();
+        let before = i.rng.clone().next_u64();
+        for _ in 0..100 {
+            assert_eq!(i.fabric_fault(), None);
+            assert!(!i.stale_translation());
+            assert_eq!(i.stu_stall(), None);
+            assert_eq!(i.link_up_at(Cycle(1_000_000)), Cycle(1_000_000));
+        }
+        assert_eq!(i.rng.next_u64(), before, "no RNG state consumed");
+        assert_eq!(i.injected_total(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FaultInjector::new(FaultConfig::transient(42));
+        let mut b = FaultInjector::new(FaultConfig::transient(42));
+        for t in 0..5000u64 {
+            assert_eq!(a.fabric_fault(), b.fabric_fault());
+            assert_eq!(a.stale_translation(), b.stale_translation());
+            assert_eq!(a.link_up_at(Cycle(t * 997)), b.link_up_at(Cycle(t * 997)));
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultInjector::new(FaultConfig::transient(1));
+        let mut b = FaultInjector::new(FaultConfig::transient(2));
+        let diverged = (0..2000).any(|_| a.fabric_fault() != b.fabric_fault());
+        assert!(diverged);
+    }
+
+    #[test]
+    fn fault_mix_tracks_probabilities() {
+        let cfg = FaultConfig {
+            drop_prob: 0.2,
+            corrupt_prob: 0.1,
+            ..FaultConfig::transient(3)
+        };
+        let mut i = FaultInjector::new(cfg);
+        let n = 20_000;
+        for _ in 0..n {
+            i.fabric_fault();
+        }
+        let drops = i.stats().drops.value() as f64 / n as f64;
+        let corr = i.stats().corruptions.value() as f64 / n as f64;
+        assert!((drops - 0.2).abs() < 0.02, "drop rate {drops}");
+        assert!((corr - 0.1).abs() < 0.02, "corrupt rate {corr}");
+    }
+
+    #[test]
+    fn link_down_windows_cover_the_schedule() {
+        let cfg = FaultConfig {
+            enabled: true,
+            link_down_period: 1000,
+            link_down_cycles: 100,
+            ..FaultConfig::disabled()
+        };
+        let mut i = FaultInjector::new(cfg);
+        // Inside window 1 the caller is pushed to the window end.
+        let start = i.window_start(1);
+        let up = i.link_up_at(Cycle(start + 10));
+        assert_eq!(up, Cycle(start + 100));
+        // Clear of any window, time passes through.
+        let free = Cycle(start + 500);
+        assert_eq!(i.link_up_at(free), free);
+        assert_eq!(i.stats().link_down_waits.value(), 1);
+    }
+
+    #[test]
+    fn stall_duration_matches_config() {
+        let cfg = FaultConfig {
+            stu_stall_prob: 1.0,
+            stu_stall_cycles: 77,
+            ..FaultConfig::transient(5)
+        };
+        let mut i = FaultInjector::new(cfg);
+        assert_eq!(i.stu_stall(), Some(Duration(77)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn out_of_range_probability_rejected() {
+        FaultInjector::new(FaultConfig {
+            enabled: true,
+            drop_prob: 1.5,
+            ..FaultConfig::disabled()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than their period")]
+    fn degenerate_link_window_rejected() {
+        FaultInjector::new(FaultConfig {
+            enabled: true,
+            link_down_period: 100,
+            link_down_cycles: 100,
+            ..FaultConfig::disabled()
+        });
+    }
+}

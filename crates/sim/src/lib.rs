@@ -17,6 +17,9 @@
 //!   uses to report the quantities the paper plots.
 //! * [`SimRng`] — a small, seedable RNG so every simulation is
 //!   reproducible.
+//! * [`FaultInjector`] — deterministic, seed-driven fault injection
+//!   (packet drop/corruption, link-down windows, STU stalls, stale
+//!   translations) that is a zero-cost no-op when disabled.
 //!
 //! # Examples
 //!
@@ -37,6 +40,7 @@
 
 mod clock;
 mod event;
+mod fault;
 mod resource;
 mod rng;
 pub mod stats;
@@ -44,6 +48,7 @@ mod window;
 
 pub use clock::{Cycle, Duration, Frequency};
 pub use event::EventQueue;
+pub use fault::{FabricFault, FaultConfig, FaultInjector, FaultStats};
 pub use resource::{BankedResource, Resource};
 pub use rng::SimRng;
 pub use window::Window;

@@ -1,14 +1,17 @@
 //! Seedable randomness for reproducible simulations.
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna),
+//! seeded through SplitMix64 so any `u64` seed — including zero —
+//! yields a well-mixed state. Keeping the implementation local makes
+//! the workspace hermetic: simulations replay bit-for-bit on any
+//! toolchain without an external RNG crate pinning the stream.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// A small, fast, seedable RNG wrapper.
+/// A small, fast, seedable RNG.
 ///
 /// Every stochastic choice in the workspace (workload address streams,
-/// random cache replacement, FAM allocation shuffling) draws from a
-/// `SimRng` constructed from an explicit seed, so any experiment can be
-/// replayed bit-for-bit.
+/// random cache replacement, FAM allocation shuffling, fault
+/// injection) draws from a `SimRng` constructed from an explicit seed,
+/// so any experiment can be replayed bit-for-bit.
 ///
 /// # Examples
 ///
@@ -21,14 +24,29 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates an RNG from an explicit seed.
     pub fn seeded(seed: u64) -> SimRng {
+        let mut s = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
@@ -38,24 +56,43 @@ impl SimRng {
         SimRng::seeded(self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// The next uniformly random `u64`.
+    /// The next uniformly random `u64` (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let s3b = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3b;
+        s2 ^= t;
+        self.state = [s0, s1, s2, s3b.rotate_left(45)];
+        result
     }
 
-    /// Uniform integer in `[0, bound)`.
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift
+    /// rejection, bias-free.
     ///
     /// # Panics
     ///
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be non-zero");
-        self.inner.gen_range(0..bound)
+        let mut m = (self.next_u64() as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                m = (self.next_u64() as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -70,21 +107,6 @@ impl SimRng {
     /// Panics if `len` is zero.
     pub fn index(&mut self, len: usize) -> usize {
         self.below(len as u64) as usize
-    }
-}
-
-impl rand::RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        rand::RngCore::next_u32(&mut self.inner)
-    }
-    fn next_u64(&mut self) -> u64 {
-        rand::RngCore::next_u64(&mut self.inner)
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        rand::RngCore::fill_bytes(&mut self.inner, dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        rand::RngCore::try_fill_bytes(&mut self.inner, dest)
     }
 }
 
@@ -110,10 +132,30 @@ mod tests {
     }
 
     #[test]
+    fn zero_seed_is_well_mixed() {
+        // SplitMix64 expansion must not leave an all-zero (stuck) state.
+        let mut r = SimRng::seeded(0);
+        let distinct: std::collections::HashSet<u64> = (0..64).map(|_| r.next_u64()).collect();
+        assert!(distinct.len() > 60);
+    }
+
+    #[test]
     fn below_stays_in_range() {
         let mut r = SimRng::seeded(3);
         for _ in 0..1000 {
             assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn below_covers_small_ranges_roughly_uniformly() {
+        let mut r = SimRng::seeded(11);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[r.below(4) as usize] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "skewed bucket: {counts:?}");
         }
     }
 

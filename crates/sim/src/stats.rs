@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A monotonically increasing event counter.
 ///
 /// # Examples
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// c.inc();
 /// assert_eq!(c.value(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -71,7 +69,7 @@ impl fmt::Display for Counter {
 /// assert_eq!(r.total(), 3);
 /// assert!((r.rate() - 2.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Ratio {
     hits: u64,
     misses: u64,
@@ -166,7 +164,7 @@ impl fmt::Display for Ratio {
 /// assert_eq!(h.max(), 100);
 /// assert!((h.mean() - 67.0).abs() < 0.5);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Vec<u64>, // bucket i counts samples in [2^(i-1), 2^i), bucket 0 = {0}
     count: u64,

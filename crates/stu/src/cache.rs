@@ -3,10 +3,9 @@
 use fam_broker::AcmWidth;
 use fam_mem::{CacheConfig, Replacement, SetAssocCache};
 use fam_sim::stats::Ratio;
-use serde::{Deserialize, Serialize};
 
 /// Which Fig. 8 way organisation the STU cache uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StuOrganization {
     /// Fig. 8(a): coupled `(npa tag, FAM page, ACM)` entries.
     IFam,
@@ -19,7 +18,7 @@ pub enum StuOrganization {
 }
 
 /// STU cache geometry and organisation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StuConfig {
     /// Number of sets (paper: 128).
     pub sets: usize,

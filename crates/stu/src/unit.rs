@@ -3,12 +3,11 @@
 use fam_broker::{AccessKind, MemoryBroker};
 use fam_sim::stats::Counter;
 use fam_vm::{NodeId, PageWalker, PtwCache, WalkPlan};
-use serde::{Deserialize, Serialize};
 
 use crate::{StuCache, StuConfig};
 
 /// Counters the STU accumulates, beyond the cache's own hit ratio.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct StuStats {
     /// FAM page-table walks performed.
     pub walks: Counter,

@@ -9,18 +9,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Page size used throughout the paper: 4 KB.
 pub const PAGE_BYTES: u64 = 4096;
 
 macro_rules! address_type {
     ($(#[$doc:meta])* $name:ident, $page_doc:expr) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
-        )]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
         pub struct $name(pub u64);
 
         impl $name {
@@ -114,7 +109,7 @@ impl VirtAddr {
 /// assert_eq!(n.index(), 7);
 /// assert!(NodeId::new(16382).index() < NodeId::SHARED_MARKER as usize);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u16);
 
 impl NodeId {

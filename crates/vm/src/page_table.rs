@@ -2,8 +2,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::PAGE_BYTES;
 
 /// Number of radix levels (PGD, PUD, PMD, PTE — §II-B).
@@ -25,7 +23,7 @@ const ENTRY_BYTES: u64 = 8;
 /// let f = PtFlags::rw();
 /// assert!(f.writable() && !f.executable());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PtFlags(u8);
 
 impl PtFlags {
@@ -70,7 +68,7 @@ impl PtFlags {
 }
 
 /// A leaf page-table entry: the target physical page plus permissions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pte {
     /// The mapped physical page number (node-physical or FAM,
     /// depending on which table this is).

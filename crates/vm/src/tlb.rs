@@ -3,7 +3,6 @@
 use fam_mem::{CacheConfig, Replacement, SetAssocCache};
 use fam_sim::stats::Ratio;
 use fam_sim::Duration;
-use serde::{Deserialize, Serialize};
 
 use crate::Pte;
 
@@ -19,7 +18,7 @@ pub enum TlbHit {
 }
 
 /// Geometry and latencies of the TLB hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbConfig {
     /// L1 TLB entries (paper: 32).
     pub l1_entries: usize,

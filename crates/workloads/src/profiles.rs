@@ -1,11 +1,9 @@
 //! Per-benchmark generator parameters (Table III).
 
-use serde::{Deserialize, Serialize};
-
 use crate::{generator::TraceGenerator, VA_BASE};
 
 /// Benchmark suite of origin (Table III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// SPEC CPU 2006.
     Spec2006,
@@ -54,7 +52,7 @@ impl Suite {
 ///   full FAM latency (canl, sssp).
 /// * `refs_per_kilo_instr` — off-core reference density; together
 ///   with the locality knobs this calibrates MPKI to Table III.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Workload {
     /// Short name as used in the paper's figures.
     pub name: &'static str,

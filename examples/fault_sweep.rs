@@ -1,0 +1,73 @@
+//! Fault sweep: graceful degradation across schemes as the fabric
+//! gets flakier.
+//!
+//! The fault injector throws drops, corruptions, stale translations,
+//! and STU stalls at the FAM path; the retry/NACK machinery absorbs
+//! them. This sweep scales the transient-fault profile from 0× to 4×
+//! and prints, per scheme, what was injected, how recovery went, and
+//! what the faults cost in IPC. Everything is seed-driven: run it
+//! twice and the tables are byte-identical.
+//!
+//! ```sh
+//! cargo run --release -p fam-examples --bin fault_sweep
+//! ```
+
+use deact::{run_benchmark, Scheme, SystemConfig};
+use fam_sim::FaultConfig;
+
+/// The transient profile with every probability scaled by `x`.
+fn scaled_profile(seed: u64, x: f64) -> FaultConfig {
+    let base = FaultConfig::transient(seed);
+    FaultConfig {
+        drop_prob: base.drop_prob * x,
+        corrupt_prob: base.corrupt_prob * x,
+        stale_prob: base.stale_prob * x,
+        stu_stall_prob: base.stu_stall_prob * x,
+        ..base
+    }
+}
+
+fn main() {
+    let cfg = SystemConfig::paper_default()
+        .with_refs_per_core(20_000)
+        .with_seed(7);
+    let bench = "mcf";
+
+    println!("fault sweep on `{bench}` (transient profile, seed 7)");
+    println!();
+    println!(
+        "{:>5} {:8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>8} {:>9}",
+        "scale", "scheme", "injected", "retries", "recov", "fatal", "rate", "backoff", "ipc-loss"
+    );
+
+    for scale in [0.0, 1.0, 2.0, 4.0] {
+        for scheme in Scheme::ALL {
+            let clean = run_benchmark(bench, cfg.with_scheme(scheme));
+            let faulty = if scale == 0.0 {
+                cfg.with_scheme(scheme)
+            } else {
+                cfg.with_scheme(scheme)
+                    .with_fault_injection(scaled_profile(7, scale))
+            };
+            let r = run_benchmark(bench, faulty);
+            let f = &r.recovery;
+            println!(
+                "{:>4}x {:8} {:>8} {:>8} {:>8} {:>8} {:>5.1}% {:>8} {:>8.1}%",
+                scale,
+                scheme.name(),
+                f.injected_total(),
+                f.retries,
+                f.recovered,
+                f.fatal,
+                f.recovery_rate() * 100.0,
+                f.backoff_cycles,
+                (1.0 - r.ipc / clean.ipc) * 100.0,
+            );
+        }
+        println!();
+    }
+
+    println!("at 0x the recovery block is all-zero: injection off is free.");
+    println!("fatal > 0 means the retry budget (4) was exhausted; the run");
+    println!("still completes — degradation, not collapse.");
+}

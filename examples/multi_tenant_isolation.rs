@@ -37,7 +37,7 @@ fn main() {
         tag: 7,
     };
     let wire = forged.encode();
-    let at_stu = Packet::decode(wire).expect("well-formed packet");
+    let at_stu = Packet::decode(&wire).expect("well-formed packet");
     println!(
         "tenant B forges {:?} with V={} for A's page...",
         at_stu.kind, at_stu.verified as u8

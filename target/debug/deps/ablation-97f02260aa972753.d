@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-97f02260aa972753.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-97f02260aa972753: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-e132aa6e33a56efc.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-e132aa6e33a56efc: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

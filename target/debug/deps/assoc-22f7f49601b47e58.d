@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/assoc-22f7f49601b47e58.d: crates/bench/src/bin/assoc.rs
+
+/root/repo/target/debug/deps/assoc-22f7f49601b47e58: crates/bench/src/bin/assoc.rs
+
+crates/bench/src/bin/assoc.rs:

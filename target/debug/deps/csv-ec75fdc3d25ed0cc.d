@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csv-ec75fdc3d25ed0cc.d: crates/bench/src/bin/csv.rs
+
+/root/repo/target/debug/deps/csv-ec75fdc3d25ed0cc: crates/bench/src/bin/csv.rs
+
+crates/bench/src/bin/csv.rs:

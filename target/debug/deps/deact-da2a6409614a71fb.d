@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/deact-da2a6409614a71fb.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/scheme.rs crates/core/src/system.rs crates/core/src/translator.rs
+
+/root/repo/target/debug/deps/libdeact-da2a6409614a71fb.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/scheme.rs crates/core/src/system.rs crates/core/src/translator.rs
+
+/root/repo/target/debug/deps/libdeact-da2a6409614a71fb.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/scheme.rs crates/core/src/system.rs crates/core/src/translator.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/metrics.rs:
+crates/core/src/node.rs:
+crates/core/src/scheme.rs:
+crates/core/src/system.rs:
+crates/core/src/translator.rs:

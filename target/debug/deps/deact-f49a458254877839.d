@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/deact-f49a458254877839.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/scheme.rs crates/core/src/system.rs crates/core/src/translator.rs
+
+/root/repo/target/debug/deps/deact-f49a458254877839: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/scheme.rs crates/core/src/system.rs crates/core/src/translator.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/metrics.rs:
+crates/core/src/node.rs:
+crates/core/src/scheme.rs:
+crates/core/src/system.rs:
+crates/core/src/translator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deact_sim-6522ec3db2e3c132.d: crates/core/src/bin/deact-sim.rs
+
+/root/repo/target/debug/deps/deact_sim-6522ec3db2e3c132: crates/core/src/bin/deact-sim.rs
+
+crates/core/src/bin/deact-sim.rs:

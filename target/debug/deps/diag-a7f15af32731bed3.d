@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-a7f15af32731bed3.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-a7f15af32731bed3: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

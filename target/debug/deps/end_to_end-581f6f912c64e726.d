@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-581f6f912c64e726.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-581f6f912c64e726: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

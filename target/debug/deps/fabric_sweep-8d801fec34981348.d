@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fabric_sweep-8d801fec34981348.d: examples/fabric_sweep.rs
+
+/root/repo/target/debug/deps/fabric_sweep-8d801fec34981348: examples/fabric_sweep.rs
+
+examples/fabric_sweep.rs:

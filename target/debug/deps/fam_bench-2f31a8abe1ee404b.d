@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fam_bench-2f31a8abe1ee404b.d: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/paper.rs
+
+/root/repo/target/debug/deps/libfam_bench-2f31a8abe1ee404b.rlib: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/paper.rs
+
+/root/repo/target/debug/deps/libfam_bench-2f31a8abe1ee404b.rmeta: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figs.rs:
+crates/bench/src/paper.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fam_bench-a9593f2dca891785.d: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/paper.rs
+
+/root/repo/target/debug/deps/fam_bench-a9593f2dca891785: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figs.rs:
+crates/bench/src/paper.rs:

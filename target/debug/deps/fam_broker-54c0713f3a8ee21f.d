@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fam_broker-54c0713f3a8ee21f.d: crates/broker/src/lib.rs crates/broker/src/acm.rs crates/broker/src/broker.rs crates/broker/src/layout.rs crates/broker/src/logical.rs
+
+/root/repo/target/debug/deps/libfam_broker-54c0713f3a8ee21f.rlib: crates/broker/src/lib.rs crates/broker/src/acm.rs crates/broker/src/broker.rs crates/broker/src/layout.rs crates/broker/src/logical.rs
+
+/root/repo/target/debug/deps/libfam_broker-54c0713f3a8ee21f.rmeta: crates/broker/src/lib.rs crates/broker/src/acm.rs crates/broker/src/broker.rs crates/broker/src/layout.rs crates/broker/src/logical.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/acm.rs:
+crates/broker/src/broker.rs:
+crates/broker/src/layout.rs:
+crates/broker/src/logical.rs:

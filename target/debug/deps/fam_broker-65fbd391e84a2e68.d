@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fam_broker-65fbd391e84a2e68.d: crates/broker/src/lib.rs crates/broker/src/acm.rs crates/broker/src/broker.rs crates/broker/src/layout.rs crates/broker/src/logical.rs
+
+/root/repo/target/debug/deps/fam_broker-65fbd391e84a2e68: crates/broker/src/lib.rs crates/broker/src/acm.rs crates/broker/src/broker.rs crates/broker/src/layout.rs crates/broker/src/logical.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/acm.rs:
+crates/broker/src/broker.rs:
+crates/broker/src/layout.rs:
+crates/broker/src/logical.rs:

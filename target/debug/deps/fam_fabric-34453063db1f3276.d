@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fam_fabric-34453063db1f3276.d: crates/fabric/src/lib.rs crates/fabric/src/packet.rs
+
+/root/repo/target/debug/deps/fam_fabric-34453063db1f3276: crates/fabric/src/lib.rs crates/fabric/src/packet.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/packet.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fam_fabric-fe6aa09c4bef2a7d.d: crates/fabric/src/lib.rs crates/fabric/src/packet.rs
+
+/root/repo/target/debug/deps/libfam_fabric-fe6aa09c4bef2a7d.rlib: crates/fabric/src/lib.rs crates/fabric/src/packet.rs
+
+/root/repo/target/debug/deps/libfam_fabric-fe6aa09c4bef2a7d.rmeta: crates/fabric/src/lib.rs crates/fabric/src/packet.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/packet.rs:

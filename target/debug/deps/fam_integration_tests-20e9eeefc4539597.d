@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fam_integration_tests-20e9eeefc4539597.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libfam_integration_tests-20e9eeefc4539597.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libfam_integration_tests-20e9eeefc4539597.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fam_integration_tests-29e538cc7db76bd5.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/fam_integration_tests-29e538cc7db76bd5: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fam_mem-5a5d6d5b132c7366.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/hierarchy.rs crates/mem/src/nvm.rs
+
+/root/repo/target/debug/deps/libfam_mem-5a5d6d5b132c7366.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/hierarchy.rs crates/mem/src/nvm.rs
+
+/root/repo/target/debug/deps/libfam_mem-5a5d6d5b132c7366.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/hierarchy.rs crates/mem/src/nvm.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/nvm.rs:

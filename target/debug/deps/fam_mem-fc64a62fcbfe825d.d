@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fam_mem-fc64a62fcbfe825d.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/hierarchy.rs crates/mem/src/nvm.rs
+
+/root/repo/target/debug/deps/fam_mem-fc64a62fcbfe825d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/hierarchy.rs crates/mem/src/nvm.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/nvm.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fam_sim-75d1c5130db389b9.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/window.rs
+
+/root/repo/target/debug/deps/libfam_sim-75d1c5130db389b9.rlib: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/window.rs
+
+/root/repo/target/debug/deps/libfam_sim-75d1c5130db389b9.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/window.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/window.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fam_sim-bd9da738de28e829.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/window.rs
+
+/root/repo/target/debug/deps/fam_sim-bd9da738de28e829: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/window.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/window.rs:

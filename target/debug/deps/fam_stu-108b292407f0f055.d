@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fam_stu-108b292407f0f055.d: crates/stu/src/lib.rs crates/stu/src/cache.rs crates/stu/src/unit.rs
+
+/root/repo/target/debug/deps/libfam_stu-108b292407f0f055.rlib: crates/stu/src/lib.rs crates/stu/src/cache.rs crates/stu/src/unit.rs
+
+/root/repo/target/debug/deps/libfam_stu-108b292407f0f055.rmeta: crates/stu/src/lib.rs crates/stu/src/cache.rs crates/stu/src/unit.rs
+
+crates/stu/src/lib.rs:
+crates/stu/src/cache.rs:
+crates/stu/src/unit.rs:

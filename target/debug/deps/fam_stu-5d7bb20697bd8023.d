@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fam_stu-5d7bb20697bd8023.d: crates/stu/src/lib.rs crates/stu/src/cache.rs crates/stu/src/unit.rs
+
+/root/repo/target/debug/deps/fam_stu-5d7bb20697bd8023: crates/stu/src/lib.rs crates/stu/src/cache.rs crates/stu/src/unit.rs
+
+crates/stu/src/lib.rs:
+crates/stu/src/cache.rs:
+crates/stu/src/unit.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fam_vm-17cd45e958f73be3.d: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/page_table.rs crates/vm/src/ptw_cache.rs crates/vm/src/tlb.rs crates/vm/src/walker.rs
+
+/root/repo/target/debug/deps/libfam_vm-17cd45e958f73be3.rlib: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/page_table.rs crates/vm/src/ptw_cache.rs crates/vm/src/tlb.rs crates/vm/src/walker.rs
+
+/root/repo/target/debug/deps/libfam_vm-17cd45e958f73be3.rmeta: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/page_table.rs crates/vm/src/ptw_cache.rs crates/vm/src/tlb.rs crates/vm/src/walker.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/addr.rs:
+crates/vm/src/page_table.rs:
+crates/vm/src/ptw_cache.rs:
+crates/vm/src/tlb.rs:
+crates/vm/src/walker.rs:

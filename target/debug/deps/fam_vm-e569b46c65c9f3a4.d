@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fam_vm-e569b46c65c9f3a4.d: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/page_table.rs crates/vm/src/ptw_cache.rs crates/vm/src/tlb.rs crates/vm/src/walker.rs
+
+/root/repo/target/debug/deps/fam_vm-e569b46c65c9f3a4: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/page_table.rs crates/vm/src/ptw_cache.rs crates/vm/src/tlb.rs crates/vm/src/walker.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/addr.rs:
+crates/vm/src/page_table.rs:
+crates/vm/src/ptw_cache.rs:
+crates/vm/src/tlb.rs:
+crates/vm/src/walker.rs:

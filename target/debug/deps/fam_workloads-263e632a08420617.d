@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fam_workloads-263e632a08420617.d: crates/workloads/src/lib.rs crates/workloads/src/generator.rs crates/workloads/src/profiles.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/libfam_workloads-263e632a08420617.rlib: crates/workloads/src/lib.rs crates/workloads/src/generator.rs crates/workloads/src/profiles.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/libfam_workloads-263e632a08420617.rmeta: crates/workloads/src/lib.rs crates/workloads/src/generator.rs crates/workloads/src/profiles.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/profiles.rs:
+crates/workloads/src/trace.rs:

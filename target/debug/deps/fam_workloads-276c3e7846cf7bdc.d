@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fam_workloads-276c3e7846cf7bdc.d: crates/workloads/src/lib.rs crates/workloads/src/generator.rs crates/workloads/src/profiles.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/fam_workloads-276c3e7846cf7bdc: crates/workloads/src/lib.rs crates/workloads/src/generator.rs crates/workloads/src/profiles.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/profiles.rs:
+crates/workloads/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-ac7979736632993d.d: tests/tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-ac7979736632993d: tests/tests/fault_injection.rs
+
+tests/tests/fault_injection.rs:

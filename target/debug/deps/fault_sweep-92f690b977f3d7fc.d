@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-92f690b977f3d7fc.d: examples/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-92f690b977f3d7fc: examples/fault_sweep.rs
+
+examples/fault_sweep.rs:

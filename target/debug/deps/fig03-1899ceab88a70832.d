@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-1899ceab88a70832.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/fig03-1899ceab88a70832: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-95425f0a9e7c243e.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/fig04-95425f0a9e7c243e: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-405250f4d1d70679.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/fig09-405250f4d1d70679: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

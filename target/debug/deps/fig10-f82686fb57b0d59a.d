@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-f82686fb57b0d59a.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-f82686fb57b0d59a: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

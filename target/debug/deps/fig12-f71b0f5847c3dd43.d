@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-f71b0f5847c3dd43.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-f71b0f5847c3dd43: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-30d4b845aa3a6eed.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-30d4b845aa3a6eed: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-a06c6ec9425dce5c.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-a06c6ec9425dce5c: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-43da851ba6992245.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-43da851ba6992245: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

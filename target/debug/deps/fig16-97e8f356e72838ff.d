@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-97e8f356e72838ff.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/fig16-97e8f356e72838ff: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

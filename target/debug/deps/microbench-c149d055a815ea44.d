@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/microbench-c149d055a815ea44.d: crates/bench/src/bin/microbench.rs
+
+/root/repo/target/debug/deps/microbench-c149d055a815ea44: crates/bench/src/bin/microbench.rs
+
+crates/bench/src/bin/microbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_tenant_isolation-0bdce5be34196bec.d: examples/multi_tenant_isolation.rs
+
+/root/repo/target/debug/deps/multi_tenant_isolation-0bdce5be34196bec: examples/multi_tenant_isolation.rs
+
+examples/multi_tenant_isolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/page_migration-43a34cc0749cea37.d: examples/page_migration.rs
+
+/root/repo/target/debug/deps/page_migration-43a34cc0749cea37: examples/page_migration.rs
+
+examples/page_migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-540ac32cd9ae9860.d: tests/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-540ac32cd9ae9860: tests/tests/properties.rs
+
+tests/tests/properties.rs:

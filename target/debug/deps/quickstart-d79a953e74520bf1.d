@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-d79a953e74520bf1.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-d79a953e74520bf1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-72f67fbb432b8bc4.d: tests/tests/security.rs
+
+/root/repo/target/debug/deps/security-72f67fbb432b8bc4: tests/tests/security.rs
+
+tests/tests/security.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-eaf72bd8d615e444.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-eaf72bd8d615e444: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

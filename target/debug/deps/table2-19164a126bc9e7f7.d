@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-19164a126bc9e7f7.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-19164a126bc9e7f7: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-382730151cbb8478.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-382730151cbb8478: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_replay-bcca2aba3136c262.d: examples/trace_replay.rs
+
+/root/repo/target/debug/deps/trace_replay-bcca2aba3136c262: examples/trace_replay.rs
+
+examples/trace_replay.rs:

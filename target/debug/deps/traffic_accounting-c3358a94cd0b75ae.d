@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traffic_accounting-c3358a94cd0b75ae.d: tests/tests/traffic_accounting.rs
+
+/root/repo/target/debug/deps/traffic_accounting-c3358a94cd0b75ae: tests/tests/traffic_accounting.rs
+
+tests/tests/traffic_accounting.rs:

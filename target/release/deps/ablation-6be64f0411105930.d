@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation-6be64f0411105930.d: crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation-6be64f0411105930.rmeta: crates/bench/src/bin/ablation.rs Cargo.toml
+
+crates/bench/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

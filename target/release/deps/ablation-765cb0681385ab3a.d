@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-765cb0681385ab3a.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-765cb0681385ab3a: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

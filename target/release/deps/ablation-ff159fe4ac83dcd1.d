@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-ff159fe4ac83dcd1.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-ff159fe4ac83dcd1: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

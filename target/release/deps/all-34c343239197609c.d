@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/all-34c343239197609c.d: crates/bench/src/bin/all.rs Cargo.toml
+
+/root/repo/target/release/deps/liball-34c343239197609c.rmeta: crates/bench/src/bin/all.rs Cargo.toml
+
+crates/bench/src/bin/all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

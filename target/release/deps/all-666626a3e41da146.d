@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-666626a3e41da146.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/release/deps/all-666626a3e41da146: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

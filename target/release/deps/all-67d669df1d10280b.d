@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/all-67d669df1d10280b.d: crates/bench/src/bin/all.rs Cargo.toml
+
+/root/repo/target/release/deps/liball-67d669df1d10280b.rmeta: crates/bench/src/bin/all.rs Cargo.toml
+
+crates/bench/src/bin/all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-75da9ba85003b684.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/release/deps/all-75da9ba85003b684: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

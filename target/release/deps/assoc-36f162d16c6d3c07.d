@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/assoc-36f162d16c6d3c07.d: crates/bench/src/bin/assoc.rs Cargo.toml
+
+/root/repo/target/release/deps/libassoc-36f162d16c6d3c07.rmeta: crates/bench/src/bin/assoc.rs Cargo.toml
+
+crates/bench/src/bin/assoc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/assoc-38f95e4b35a179b4.d: crates/bench/src/bin/assoc.rs
+
+/root/repo/target/release/deps/assoc-38f95e4b35a179b4: crates/bench/src/bin/assoc.rs
+
+crates/bench/src/bin/assoc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/assoc-51f593b9217e1207.d: crates/bench/src/bin/assoc.rs
+
+/root/repo/target/release/deps/assoc-51f593b9217e1207: crates/bench/src/bin/assoc.rs
+
+crates/bench/src/bin/assoc.rs:

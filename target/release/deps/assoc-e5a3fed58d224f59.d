@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/assoc-e5a3fed58d224f59.d: crates/bench/src/bin/assoc.rs Cargo.toml
+
+/root/repo/target/release/deps/libassoc-e5a3fed58d224f59.rmeta: crates/bench/src/bin/assoc.rs Cargo.toml
+
+crates/bench/src/bin/assoc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

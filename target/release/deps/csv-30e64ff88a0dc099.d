@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/csv-30e64ff88a0dc099.d: crates/bench/src/bin/csv.rs Cargo.toml
+
+/root/repo/target/release/deps/libcsv-30e64ff88a0dc099.rmeta: crates/bench/src/bin/csv.rs Cargo.toml
+
+crates/bench/src/bin/csv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/csv-cb1f91f8805e19aa.d: crates/bench/src/bin/csv.rs
+
+/root/repo/target/release/deps/csv-cb1f91f8805e19aa: crates/bench/src/bin/csv.rs
+
+crates/bench/src/bin/csv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/csv-cbbcf2db104a1a45.d: crates/bench/src/bin/csv.rs
+
+/root/repo/target/release/deps/csv-cbbcf2db104a1a45: crates/bench/src/bin/csv.rs
+
+crates/bench/src/bin/csv.rs:

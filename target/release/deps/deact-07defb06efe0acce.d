@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/deact-07defb06efe0acce.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/scheme.rs crates/core/src/system.rs crates/core/src/translator.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeact-07defb06efe0acce.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/scheme.rs crates/core/src/system.rs crates/core/src/translator.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/metrics.rs:
+crates/core/src/node.rs:
+crates/core/src/scheme.rs:
+crates/core/src/system.rs:
+crates/core/src/translator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/deact-59c44b5dd8facc2d.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/scheme.rs crates/core/src/system.rs crates/core/src/translator.rs
+
+/root/repo/target/release/deps/libdeact-59c44b5dd8facc2d.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/scheme.rs crates/core/src/system.rs crates/core/src/translator.rs
+
+/root/repo/target/release/deps/libdeact-59c44b5dd8facc2d.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/scheme.rs crates/core/src/system.rs crates/core/src/translator.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/metrics.rs:
+crates/core/src/node.rs:
+crates/core/src/scheme.rs:
+crates/core/src/system.rs:
+crates/core/src/translator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/deact_sim-26fb5bb7797f1632.d: crates/core/src/bin/deact-sim.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeact_sim-26fb5bb7797f1632.rmeta: crates/core/src/bin/deact-sim.rs Cargo.toml
+
+crates/core/src/bin/deact-sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

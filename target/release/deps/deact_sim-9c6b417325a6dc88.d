@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/deact_sim-9c6b417325a6dc88.d: crates/core/src/bin/deact-sim.rs
+
+/root/repo/target/release/deps/deact_sim-9c6b417325a6dc88: crates/core/src/bin/deact-sim.rs
+
+crates/core/src/bin/deact-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/deact_sim-a57c51607dda14d8.d: crates/core/src/bin/deact-sim.rs
+
+/root/repo/target/release/deps/deact_sim-a57c51607dda14d8: crates/core/src/bin/deact-sim.rs
+
+crates/core/src/bin/deact-sim.rs:

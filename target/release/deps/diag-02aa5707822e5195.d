@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diag-02aa5707822e5195.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/release/deps/diag-02aa5707822e5195: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/diag-2567643b0f976bab.d: crates/bench/src/bin/diag.rs Cargo.toml
+
+/root/repo/target/release/deps/libdiag-2567643b0f976bab.rmeta: crates/bench/src/bin/diag.rs Cargo.toml
+
+crates/bench/src/bin/diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

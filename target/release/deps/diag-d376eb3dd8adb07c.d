@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diag-d376eb3dd8adb07c.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/release/deps/diag-d376eb3dd8adb07c: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

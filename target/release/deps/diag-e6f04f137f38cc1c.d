@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/diag-e6f04f137f38cc1c.d: crates/bench/src/bin/diag.rs Cargo.toml
+
+/root/repo/target/release/deps/libdiag-e6f04f137f38cc1c.rmeta: crates/bench/src/bin/diag.rs Cargo.toml
+
+crates/bench/src/bin/diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/end_to_end-73a5650839724c8e.d: tests/tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/release/deps/libend_to_end-73a5650839724c8e.rmeta: tests/tests/end_to_end.rs Cargo.toml
+
+tests/tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-a62ff9e1cc54067d.d: tests/tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-a62ff9e1cc54067d: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fabric_sweep-01829258d45a44fe.d: examples/fabric_sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libfabric_sweep-01829258d45a44fe.rmeta: examples/fabric_sweep.rs Cargo.toml
+
+examples/fabric_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

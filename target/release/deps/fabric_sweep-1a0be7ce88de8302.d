@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fabric_sweep-1a0be7ce88de8302.d: examples/fabric_sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libfabric_sweep-1a0be7ce88de8302.rmeta: examples/fabric_sweep.rs Cargo.toml
+
+examples/fabric_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fabric_sweep-9c0fe955ee508b50.d: examples/fabric_sweep.rs
+
+/root/repo/target/release/deps/fabric_sweep-9c0fe955ee508b50: examples/fabric_sweep.rs
+
+examples/fabric_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fabric_sweep-e0fb15e44b6627fc.d: examples/fabric_sweep.rs
+
+/root/repo/target/release/deps/fabric_sweep-e0fb15e44b6627fc: examples/fabric_sweep.rs
+
+examples/fabric_sweep.rs:

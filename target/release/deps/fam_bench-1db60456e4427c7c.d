@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fam_bench-1db60456e4427c7c.d: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/paper.rs Cargo.toml
+
+/root/repo/target/release/deps/libfam_bench-1db60456e4427c7c.rmeta: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/paper.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figs.rs:
+crates/bench/src/paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

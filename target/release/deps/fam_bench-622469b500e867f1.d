@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fam_bench-622469b500e867f1.d: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/paper.rs Cargo.toml
+
+/root/repo/target/release/deps/libfam_bench-622469b500e867f1.rmeta: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/paper.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figs.rs:
+crates/bench/src/paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fam_bench-988f4f057bb34c69.d: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/paper.rs
+
+/root/repo/target/release/deps/fam_bench-988f4f057bb34c69: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figs.rs:
+crates/bench/src/paper.rs:

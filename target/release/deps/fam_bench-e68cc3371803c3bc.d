@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fam_bench-e68cc3371803c3bc.d: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/paper.rs
+
+/root/repo/target/release/deps/libfam_bench-e68cc3371803c3bc.rlib: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/paper.rs
+
+/root/repo/target/release/deps/libfam_bench-e68cc3371803c3bc.rmeta: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figs.rs:
+crates/bench/src/paper.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fam_broker-03e6bb2be86d29a6.d: crates/broker/src/lib.rs crates/broker/src/acm.rs crates/broker/src/broker.rs crates/broker/src/layout.rs crates/broker/src/logical.rs
+
+/root/repo/target/release/deps/libfam_broker-03e6bb2be86d29a6.rlib: crates/broker/src/lib.rs crates/broker/src/acm.rs crates/broker/src/broker.rs crates/broker/src/layout.rs crates/broker/src/logical.rs
+
+/root/repo/target/release/deps/libfam_broker-03e6bb2be86d29a6.rmeta: crates/broker/src/lib.rs crates/broker/src/acm.rs crates/broker/src/broker.rs crates/broker/src/layout.rs crates/broker/src/logical.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/acm.rs:
+crates/broker/src/broker.rs:
+crates/broker/src/layout.rs:
+crates/broker/src/logical.rs:

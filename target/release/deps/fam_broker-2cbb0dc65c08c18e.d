@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fam_broker-2cbb0dc65c08c18e.d: crates/broker/src/lib.rs crates/broker/src/acm.rs crates/broker/src/broker.rs crates/broker/src/layout.rs crates/broker/src/logical.rs Cargo.toml
+
+/root/repo/target/release/deps/libfam_broker-2cbb0dc65c08c18e.rmeta: crates/broker/src/lib.rs crates/broker/src/acm.rs crates/broker/src/broker.rs crates/broker/src/layout.rs crates/broker/src/logical.rs Cargo.toml
+
+crates/broker/src/lib.rs:
+crates/broker/src/acm.rs:
+crates/broker/src/broker.rs:
+crates/broker/src/layout.rs:
+crates/broker/src/logical.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

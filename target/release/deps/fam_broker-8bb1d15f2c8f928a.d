@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fam_broker-8bb1d15f2c8f928a.d: crates/broker/src/lib.rs crates/broker/src/acm.rs crates/broker/src/broker.rs crates/broker/src/layout.rs crates/broker/src/logical.rs
+
+/root/repo/target/release/deps/fam_broker-8bb1d15f2c8f928a: crates/broker/src/lib.rs crates/broker/src/acm.rs crates/broker/src/broker.rs crates/broker/src/layout.rs crates/broker/src/logical.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/acm.rs:
+crates/broker/src/broker.rs:
+crates/broker/src/layout.rs:
+crates/broker/src/logical.rs:

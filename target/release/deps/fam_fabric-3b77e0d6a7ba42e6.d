@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/fam_fabric-3b77e0d6a7ba42e6.d: crates/fabric/src/lib.rs crates/fabric/src/packet.rs
+
+/root/repo/target/release/deps/fam_fabric-3b77e0d6a7ba42e6: crates/fabric/src/lib.rs crates/fabric/src/packet.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/packet.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/fam_fabric-85929dd6ecc1d3f3.d: crates/fabric/src/lib.rs crates/fabric/src/packet.rs
+
+/root/repo/target/release/deps/libfam_fabric-85929dd6ecc1d3f3.rlib: crates/fabric/src/lib.rs crates/fabric/src/packet.rs
+
+/root/repo/target/release/deps/libfam_fabric-85929dd6ecc1d3f3.rmeta: crates/fabric/src/lib.rs crates/fabric/src/packet.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/packet.rs:

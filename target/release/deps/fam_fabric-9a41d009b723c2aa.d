@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fam_fabric-9a41d009b723c2aa.d: crates/fabric/src/lib.rs crates/fabric/src/packet.rs Cargo.toml
+
+/root/repo/target/release/deps/libfam_fabric-9a41d009b723c2aa.rmeta: crates/fabric/src/lib.rs crates/fabric/src/packet.rs Cargo.toml
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/packet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

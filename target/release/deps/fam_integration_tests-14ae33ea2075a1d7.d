@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fam_integration_tests-14ae33ea2075a1d7.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libfam_integration_tests-14ae33ea2075a1d7.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fam_integration_tests-35fc6ef55e8c4b76.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libfam_integration_tests-35fc6ef55e8c4b76.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libfam_integration_tests-35fc6ef55e8c4b76.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

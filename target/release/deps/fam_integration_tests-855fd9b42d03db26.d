@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fam_integration_tests-855fd9b42d03db26.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/fam_integration_tests-855fd9b42d03db26: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fam_mem-70ca03c95fd9efbb.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/hierarchy.rs crates/mem/src/nvm.rs
+
+/root/repo/target/release/deps/fam_mem-70ca03c95fd9efbb: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/hierarchy.rs crates/mem/src/nvm.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/nvm.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fam_mem-99433033d5230c6c.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/hierarchy.rs crates/mem/src/nvm.rs Cargo.toml
+
+/root/repo/target/release/deps/libfam_mem-99433033d5230c6c.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/hierarchy.rs crates/mem/src/nvm.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/nvm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fam_mem-a555ba4e3e5f6433.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/hierarchy.rs crates/mem/src/nvm.rs
+
+/root/repo/target/release/deps/libfam_mem-a555ba4e3e5f6433.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/hierarchy.rs crates/mem/src/nvm.rs
+
+/root/repo/target/release/deps/libfam_mem-a555ba4e3e5f6433.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/hierarchy.rs crates/mem/src/nvm.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/nvm.rs:

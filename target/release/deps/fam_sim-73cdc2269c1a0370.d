@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fam_sim-73cdc2269c1a0370.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/window.rs
+
+/root/repo/target/release/deps/fam_sim-73cdc2269c1a0370: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/window.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/window.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fam_sim-d746f88d52d65bd3.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/window.rs Cargo.toml
+
+/root/repo/target/release/deps/libfam_sim-d746f88d52d65bd3.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/window.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fam_stu-0b0f77c71f078e0a.d: crates/stu/src/lib.rs crates/stu/src/cache.rs crates/stu/src/unit.rs
+
+/root/repo/target/release/deps/libfam_stu-0b0f77c71f078e0a.rlib: crates/stu/src/lib.rs crates/stu/src/cache.rs crates/stu/src/unit.rs
+
+/root/repo/target/release/deps/libfam_stu-0b0f77c71f078e0a.rmeta: crates/stu/src/lib.rs crates/stu/src/cache.rs crates/stu/src/unit.rs
+
+crates/stu/src/lib.rs:
+crates/stu/src/cache.rs:
+crates/stu/src/unit.rs:

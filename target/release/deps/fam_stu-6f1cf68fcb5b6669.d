@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fam_stu-6f1cf68fcb5b6669.d: crates/stu/src/lib.rs crates/stu/src/cache.rs crates/stu/src/unit.rs
+
+/root/repo/target/release/deps/fam_stu-6f1cf68fcb5b6669: crates/stu/src/lib.rs crates/stu/src/cache.rs crates/stu/src/unit.rs
+
+crates/stu/src/lib.rs:
+crates/stu/src/cache.rs:
+crates/stu/src/unit.rs:

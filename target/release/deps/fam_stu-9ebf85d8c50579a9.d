@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fam_stu-9ebf85d8c50579a9.d: crates/stu/src/lib.rs crates/stu/src/cache.rs crates/stu/src/unit.rs Cargo.toml
+
+/root/repo/target/release/deps/libfam_stu-9ebf85d8c50579a9.rmeta: crates/stu/src/lib.rs crates/stu/src/cache.rs crates/stu/src/unit.rs Cargo.toml
+
+crates/stu/src/lib.rs:
+crates/stu/src/cache.rs:
+crates/stu/src/unit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

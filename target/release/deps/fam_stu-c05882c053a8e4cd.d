@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fam_stu-c05882c053a8e4cd.d: crates/stu/src/lib.rs crates/stu/src/cache.rs crates/stu/src/unit.rs Cargo.toml
+
+/root/repo/target/release/deps/libfam_stu-c05882c053a8e4cd.rmeta: crates/stu/src/lib.rs crates/stu/src/cache.rs crates/stu/src/unit.rs Cargo.toml
+
+crates/stu/src/lib.rs:
+crates/stu/src/cache.rs:
+crates/stu/src/unit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

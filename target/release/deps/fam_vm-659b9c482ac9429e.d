@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fam_vm-659b9c482ac9429e.d: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/page_table.rs crates/vm/src/ptw_cache.rs crates/vm/src/tlb.rs crates/vm/src/walker.rs
+
+/root/repo/target/release/deps/libfam_vm-659b9c482ac9429e.rlib: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/page_table.rs crates/vm/src/ptw_cache.rs crates/vm/src/tlb.rs crates/vm/src/walker.rs
+
+/root/repo/target/release/deps/libfam_vm-659b9c482ac9429e.rmeta: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/page_table.rs crates/vm/src/ptw_cache.rs crates/vm/src/tlb.rs crates/vm/src/walker.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/addr.rs:
+crates/vm/src/page_table.rs:
+crates/vm/src/ptw_cache.rs:
+crates/vm/src/tlb.rs:
+crates/vm/src/walker.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fam_vm-684485c7acad745d.d: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/page_table.rs crates/vm/src/ptw_cache.rs crates/vm/src/tlb.rs crates/vm/src/walker.rs Cargo.toml
+
+/root/repo/target/release/deps/libfam_vm-684485c7acad745d.rmeta: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/page_table.rs crates/vm/src/ptw_cache.rs crates/vm/src/tlb.rs crates/vm/src/walker.rs Cargo.toml
+
+crates/vm/src/lib.rs:
+crates/vm/src/addr.rs:
+crates/vm/src/page_table.rs:
+crates/vm/src/ptw_cache.rs:
+crates/vm/src/tlb.rs:
+crates/vm/src/walker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

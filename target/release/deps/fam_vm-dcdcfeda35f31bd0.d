@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fam_vm-dcdcfeda35f31bd0.d: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/page_table.rs crates/vm/src/ptw_cache.rs crates/vm/src/tlb.rs crates/vm/src/walker.rs
+
+/root/repo/target/release/deps/fam_vm-dcdcfeda35f31bd0: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/page_table.rs crates/vm/src/ptw_cache.rs crates/vm/src/tlb.rs crates/vm/src/walker.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/addr.rs:
+crates/vm/src/page_table.rs:
+crates/vm/src/ptw_cache.rs:
+crates/vm/src/tlb.rs:
+crates/vm/src/walker.rs:

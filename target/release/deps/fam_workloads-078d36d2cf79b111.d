@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fam_workloads-078d36d2cf79b111.d: crates/workloads/src/lib.rs crates/workloads/src/generator.rs crates/workloads/src/profiles.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/libfam_workloads-078d36d2cf79b111.rlib: crates/workloads/src/lib.rs crates/workloads/src/generator.rs crates/workloads/src/profiles.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/libfam_workloads-078d36d2cf79b111.rmeta: crates/workloads/src/lib.rs crates/workloads/src/generator.rs crates/workloads/src/profiles.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/profiles.rs:
+crates/workloads/src/trace.rs:

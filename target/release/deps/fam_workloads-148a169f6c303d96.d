@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fam_workloads-148a169f6c303d96.d: crates/workloads/src/lib.rs crates/workloads/src/generator.rs crates/workloads/src/profiles.rs crates/workloads/src/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libfam_workloads-148a169f6c303d96.rmeta: crates/workloads/src/lib.rs crates/workloads/src/generator.rs crates/workloads/src/profiles.rs crates/workloads/src/trace.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/profiles.rs:
+crates/workloads/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

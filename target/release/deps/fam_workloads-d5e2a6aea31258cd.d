@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/fam_workloads-d5e2a6aea31258cd.d: crates/workloads/src/lib.rs crates/workloads/src/generator.rs crates/workloads/src/profiles.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/fam_workloads-d5e2a6aea31258cd: crates/workloads/src/lib.rs crates/workloads/src/generator.rs crates/workloads/src/profiles.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/profiles.rs:
+crates/workloads/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fault_injection-372dad044856f371.d: tests/tests/fault_injection.rs Cargo.toml
+
+/root/repo/target/release/deps/libfault_injection-372dad044856f371.rmeta: tests/tests/fault_injection.rs Cargo.toml
+
+tests/tests/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_injection-92197fcc87b24677.d: tests/tests/fault_injection.rs
+
+/root/repo/target/release/deps/fault_injection-92197fcc87b24677: tests/tests/fault_injection.rs
+
+tests/tests/fault_injection.rs:

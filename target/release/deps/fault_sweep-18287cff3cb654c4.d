@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fault_sweep-18287cff3cb654c4.d: examples/fault_sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libfault_sweep-18287cff3cb654c4.rmeta: examples/fault_sweep.rs Cargo.toml
+
+examples/fault_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_sweep-1f7111b5cc96387d.d: examples/fault_sweep.rs
+
+/root/repo/target/release/deps/fault_sweep-1f7111b5cc96387d: examples/fault_sweep.rs
+
+examples/fault_sweep.rs:

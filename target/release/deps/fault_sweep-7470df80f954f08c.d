@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fault_sweep-7470df80f954f08c.d: examples/fault_sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libfault_sweep-7470df80f954f08c.rmeta: examples/fault_sweep.rs Cargo.toml
+
+examples/fault_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_sweep-ff53ca156fcc60ed.d: examples/fault_sweep.rs
+
+/root/repo/target/release/deps/fault_sweep-ff53ca156fcc60ed: examples/fault_sweep.rs
+
+examples/fault_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03-8757065a02dc2f0c.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/release/deps/fig03-8757065a02dc2f0c: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

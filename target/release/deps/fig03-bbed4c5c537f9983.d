@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03-bbed4c5c537f9983.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/release/deps/fig03-bbed4c5c537f9983: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

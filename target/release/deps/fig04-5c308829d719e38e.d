@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig04-5c308829d719e38e.d: crates/bench/src/bin/fig04.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig04-5c308829d719e38e.rmeta: crates/bench/src/bin/fig04.rs Cargo.toml
+
+crates/bench/src/bin/fig04.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04-c1cdfbf7d0e54592.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/release/deps/fig04-c1cdfbf7d0e54592: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04-d4a63a40d0cc54b0.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/release/deps/fig04-d4a63a40d0cc54b0: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09-bebd31619d64fba3.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/release/deps/fig09-bebd31619d64fba3: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09-e247d33ada37585f.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/release/deps/fig09-e247d33ada37585f: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig09-f4796e7795db8e1f.d: crates/bench/src/bin/fig09.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig09-f4796e7795db8e1f.rmeta: crates/bench/src/bin/fig09.rs Cargo.toml
+
+crates/bench/src/bin/fig09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

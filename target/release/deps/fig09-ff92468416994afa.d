@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig09-ff92468416994afa.d: crates/bench/src/bin/fig09.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig09-ff92468416994afa.rmeta: crates/bench/src/bin/fig09.rs Cargo.toml
+
+crates/bench/src/bin/fig09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-2fab0c00e6c8efbf.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-2fab0c00e6c8efbf: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-3eeadcc951a6ed6b.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-3eeadcc951a6ed6b: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

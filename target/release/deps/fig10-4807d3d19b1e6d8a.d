@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10-4807d3d19b1e6d8a.d: crates/bench/src/bin/fig10.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10-4807d3d19b1e6d8a.rmeta: crates/bench/src/bin/fig10.rs Cargo.toml
+
+crates/bench/src/bin/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

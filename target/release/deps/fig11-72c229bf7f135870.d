@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-72c229bf7f135870.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-72c229bf7f135870: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

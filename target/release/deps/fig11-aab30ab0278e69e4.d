@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11-aab30ab0278e69e4.d: crates/bench/src/bin/fig11.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11-aab30ab0278e69e4.rmeta: crates/bench/src/bin/fig11.rs Cargo.toml
+
+crates/bench/src/bin/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

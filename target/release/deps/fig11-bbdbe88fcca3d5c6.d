@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11-bbdbe88fcca3d5c6.d: crates/bench/src/bin/fig11.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11-bbdbe88fcca3d5c6.rmeta: crates/bench/src/bin/fig11.rs Cargo.toml
+
+crates/bench/src/bin/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

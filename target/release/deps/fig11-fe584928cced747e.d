@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-fe584928cced747e.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-fe584928cced747e: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

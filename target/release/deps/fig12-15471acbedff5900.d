@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig12-15471acbedff5900.d: crates/bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig12-15471acbedff5900.rmeta: crates/bench/src/bin/fig12.rs Cargo.toml
+
+crates/bench/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

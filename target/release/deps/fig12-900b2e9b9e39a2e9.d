@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-900b2e9b9e39a2e9.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-900b2e9b9e39a2e9: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-bda1ac71f4184aa5.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-bda1ac71f4184aa5: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

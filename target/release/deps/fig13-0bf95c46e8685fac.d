@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-0bf95c46e8685fac.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-0bf95c46e8685fac: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-dcda134b21031d6e.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-dcda134b21031d6e: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

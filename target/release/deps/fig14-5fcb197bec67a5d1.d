@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-5fcb197bec67a5d1.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-5fcb197bec67a5d1: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig14-eb6bf787af77dd49.d: crates/bench/src/bin/fig14.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig14-eb6bf787af77dd49.rmeta: crates/bench/src/bin/fig14.rs Cargo.toml
+
+crates/bench/src/bin/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-faa398e3853b882f.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-faa398e3853b882f: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

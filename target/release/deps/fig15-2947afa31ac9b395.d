@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-2947afa31ac9b395.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-2947afa31ac9b395: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig15-7d97f3f59d45c8fb.d: crates/bench/src/bin/fig15.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig15-7d97f3f59d45c8fb.rmeta: crates/bench/src/bin/fig15.rs Cargo.toml
+
+crates/bench/src/bin/fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig15-b95db7099f5abce6.d: crates/bench/src/bin/fig15.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig15-b95db7099f5abce6.rmeta: crates/bench/src/bin/fig15.rs Cargo.toml
+
+crates/bench/src/bin/fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

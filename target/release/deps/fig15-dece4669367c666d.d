@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-dece4669367c666d.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-dece4669367c666d: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

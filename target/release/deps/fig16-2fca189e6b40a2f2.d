@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig16-2fca189e6b40a2f2.d: crates/bench/src/bin/fig16.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig16-2fca189e6b40a2f2.rmeta: crates/bench/src/bin/fig16.rs Cargo.toml
+
+crates/bench/src/bin/fig16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

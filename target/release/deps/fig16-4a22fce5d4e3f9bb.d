@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig16-4a22fce5d4e3f9bb.d: crates/bench/src/bin/fig16.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig16-4a22fce5d4e3f9bb.rmeta: crates/bench/src/bin/fig16.rs Cargo.toml
+
+crates/bench/src/bin/fig16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

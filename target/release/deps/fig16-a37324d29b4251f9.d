@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-a37324d29b4251f9.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-a37324d29b4251f9: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

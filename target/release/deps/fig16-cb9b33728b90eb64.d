@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-cb9b33728b90eb64.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-cb9b33728b90eb64: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

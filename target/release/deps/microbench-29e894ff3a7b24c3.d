@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/microbench-29e894ff3a7b24c3.d: crates/bench/src/bin/microbench.rs Cargo.toml
+
+/root/repo/target/release/deps/libmicrobench-29e894ff3a7b24c3.rmeta: crates/bench/src/bin/microbench.rs Cargo.toml
+
+crates/bench/src/bin/microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

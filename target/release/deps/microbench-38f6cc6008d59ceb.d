@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/microbench-38f6cc6008d59ceb.d: crates/bench/src/bin/microbench.rs
+
+/root/repo/target/release/deps/microbench-38f6cc6008d59ceb: crates/bench/src/bin/microbench.rs
+
+crates/bench/src/bin/microbench.rs:

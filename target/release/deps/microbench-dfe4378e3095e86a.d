@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/microbench-dfe4378e3095e86a.d: crates/bench/src/bin/microbench.rs Cargo.toml
+
+/root/repo/target/release/deps/libmicrobench-dfe4378e3095e86a.rmeta: crates/bench/src/bin/microbench.rs Cargo.toml
+
+crates/bench/src/bin/microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/microbench-f74b1c6374113565.d: crates/bench/src/bin/microbench.rs
+
+/root/repo/target/release/deps/microbench-f74b1c6374113565: crates/bench/src/bin/microbench.rs
+
+crates/bench/src/bin/microbench.rs:

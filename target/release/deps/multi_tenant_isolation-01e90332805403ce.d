@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/multi_tenant_isolation-01e90332805403ce.d: examples/multi_tenant_isolation.rs Cargo.toml
+
+/root/repo/target/release/deps/libmulti_tenant_isolation-01e90332805403ce.rmeta: examples/multi_tenant_isolation.rs Cargo.toml
+
+examples/multi_tenant_isolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/multi_tenant_isolation-4e68c395ff6aeaac.d: examples/multi_tenant_isolation.rs Cargo.toml
+
+/root/repo/target/release/deps/libmulti_tenant_isolation-4e68c395ff6aeaac.rmeta: examples/multi_tenant_isolation.rs Cargo.toml
+
+examples/multi_tenant_isolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

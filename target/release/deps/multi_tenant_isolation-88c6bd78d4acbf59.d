@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_tenant_isolation-88c6bd78d4acbf59.d: examples/multi_tenant_isolation.rs
+
+/root/repo/target/release/deps/multi_tenant_isolation-88c6bd78d4acbf59: examples/multi_tenant_isolation.rs
+
+examples/multi_tenant_isolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_tenant_isolation-c17e9b79cc64c875.d: examples/multi_tenant_isolation.rs
+
+/root/repo/target/release/deps/multi_tenant_isolation-c17e9b79cc64c875: examples/multi_tenant_isolation.rs
+
+examples/multi_tenant_isolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/page_migration-41ad55940e84f97c.d: examples/page_migration.rs
+
+/root/repo/target/release/deps/page_migration-41ad55940e84f97c: examples/page_migration.rs
+
+examples/page_migration.rs:

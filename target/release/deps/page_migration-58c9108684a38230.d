@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/page_migration-58c9108684a38230.d: examples/page_migration.rs Cargo.toml
+
+/root/repo/target/release/deps/libpage_migration-58c9108684a38230.rmeta: examples/page_migration.rs Cargo.toml
+
+examples/page_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

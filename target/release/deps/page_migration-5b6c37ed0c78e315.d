@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/page_migration-5b6c37ed0c78e315.d: examples/page_migration.rs
+
+/root/repo/target/release/deps/page_migration-5b6c37ed0c78e315: examples/page_migration.rs
+
+examples/page_migration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/page_migration-a736681f13eae3bf.d: examples/page_migration.rs Cargo.toml
+
+/root/repo/target/release/deps/libpage_migration-a736681f13eae3bf.rmeta: examples/page_migration.rs Cargo.toml
+
+examples/page_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-0e2f7ceec607a5b9.d: tests/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-0e2f7ceec607a5b9.rmeta: tests/tests/properties.rs Cargo.toml
+
+tests/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

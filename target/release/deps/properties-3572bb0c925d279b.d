@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-3572bb0c925d279b.d: tests/tests/properties.rs
+
+/root/repo/target/release/deps/properties-3572bb0c925d279b: tests/tests/properties.rs
+
+tests/tests/properties.rs:

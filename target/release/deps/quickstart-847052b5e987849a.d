@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-847052b5e987849a.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-847052b5e987849a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-9a859506fa234f5b.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-9a859506fa234f5b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/quickstart-befb02e6002eaa06.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/deps/libquickstart-befb02e6002eaa06.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

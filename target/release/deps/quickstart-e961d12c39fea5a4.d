@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/quickstart-e961d12c39fea5a4.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/deps/libquickstart-e961d12c39fea5a4.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

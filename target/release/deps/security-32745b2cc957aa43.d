@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/security-32745b2cc957aa43.d: tests/tests/security.rs Cargo.toml
+
+/root/repo/target/release/deps/libsecurity-32745b2cc957aa43.rmeta: tests/tests/security.rs Cargo.toml
+
+tests/tests/security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/security-6fb8ca87a01269cd.d: tests/tests/security.rs
+
+/root/repo/target/release/deps/security-6fb8ca87a01269cd: tests/tests/security.rs
+
+tests/tests/security.rs:

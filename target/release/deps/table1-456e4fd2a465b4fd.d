@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table1-456e4fd2a465b4fd.d: crates/bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable1-456e4fd2a465b4fd.rmeta: crates/bench/src/bin/table1.rs Cargo.toml
+
+crates/bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

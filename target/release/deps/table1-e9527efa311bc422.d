@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-e9527efa311bc422.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-e9527efa311bc422: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

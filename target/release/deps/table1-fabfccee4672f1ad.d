@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-fabfccee4672f1ad.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-fabfccee4672f1ad: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

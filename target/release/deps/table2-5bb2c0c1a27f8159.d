@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-5bb2c0c1a27f8159.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-5bb2c0c1a27f8159: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-6991ca70adcea569.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-6991ca70adcea569: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

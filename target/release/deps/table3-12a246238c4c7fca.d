@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-12a246238c4c7fca.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-12a246238c4c7fca: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-283c7dcea7b1c0a4.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-283c7dcea7b1c0a4: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_replay-190d71c84766336f.d: examples/trace_replay.rs
+
+/root/repo/target/release/deps/trace_replay-190d71c84766336f: examples/trace_replay.rs
+
+examples/trace_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace_replay-72cde951f6f716a3.d: examples/trace_replay.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace_replay-72cde951f6f716a3.rmeta: examples/trace_replay.rs Cargo.toml
+
+examples/trace_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

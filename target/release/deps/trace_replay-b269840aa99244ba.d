@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_replay-b269840aa99244ba.d: examples/trace_replay.rs
+
+/root/repo/target/release/deps/trace_replay-b269840aa99244ba: examples/trace_replay.rs
+
+examples/trace_replay.rs:

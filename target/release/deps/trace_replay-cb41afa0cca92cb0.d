@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace_replay-cb41afa0cca92cb0.d: examples/trace_replay.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace_replay-cb41afa0cca92cb0.rmeta: examples/trace_replay.rs Cargo.toml
+
+examples/trace_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

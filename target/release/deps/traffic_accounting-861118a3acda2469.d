@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/traffic_accounting-861118a3acda2469.d: tests/tests/traffic_accounting.rs Cargo.toml
+
+/root/repo/target/release/deps/libtraffic_accounting-861118a3acda2469.rmeta: tests/tests/traffic_accounting.rs Cargo.toml
+
+tests/tests/traffic_accounting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

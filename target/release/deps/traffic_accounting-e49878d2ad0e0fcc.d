@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/traffic_accounting-e49878d2ad0e0fcc.d: tests/tests/traffic_accounting.rs
+
+/root/repo/target/release/deps/traffic_accounting-e49878d2ad0e0fcc: tests/tests/traffic_accounting.rs
+
+tests/tests/traffic_accounting.rs:

@@ -84,14 +84,17 @@ fn wire_packets_cannot_smuggle_reserved_node_ids() {
         verified: true,
         tag: 0,
     };
-    let mut raw: Vec<u8> = good.encode().to_vec();
+    let mut raw = good.encode();
     raw[2] = 0x3F;
     raw[3] = 0xFF;
-    assert!(Packet::decode(bytes_from(raw)).is_err());
-}
-
-fn bytes_from(v: Vec<u8>) -> bytes::Bytes {
-    bytes::Bytes::from(v)
+    // Tampering without fixing the trailer trips the CRC first…
+    assert!(Packet::decode(&raw).is_err());
+    // …and even a forger who re-seals the checksum is caught by the
+    // node-id range check.
+    let body = raw.len() - 2;
+    let crc = fam_fabric::packet::crc16(&raw[..body]).to_be_bytes();
+    raw[body..].copy_from_slice(&crc);
+    assert!(Packet::decode(&raw).is_err());
 }
 
 #[test]
