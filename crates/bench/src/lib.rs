@@ -9,13 +9,16 @@
 //!
 //! Run length is controlled by the `DEACT_REFS` environment variable
 //! (references per core; default 100 000 for headline figures, less
-//! for multi-point sweeps).
+//! for multi-point sweeps), worker count by `DEACT_JOBS` (default: the
+//! host's available parallelism).
 
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
+use std::sync::{mpsc, Mutex, OnceLock};
 
 use deact::{RunReport, Scheme, SystemConfig};
+use fam_sim::{default_jobs, ThreadPool};
 use fam_workloads::{table3, Workload};
 
 pub mod figs;
@@ -37,40 +40,107 @@ pub fn refs_from_env(default: u64) -> u64 {
 /// A completed benchmark×scheme matrix.
 pub type Matrix = HashMap<(String, Scheme), RunReport>;
 
-/// Runs every `(benchmark, scheme)` pair of the matrix in parallel and
-/// collects the reports.
+/// Cache key for one completed run: benchmark, scheme, and an exact
+/// fingerprint of the full configuration. [`SystemConfig`] carries
+/// `f64` fields and so cannot implement `Hash` itself; its `Debug`
+/// output prints every field and is therefore a faithful stand-in.
+type CacheKey = (String, Scheme, String);
+
+fn cache_key(bench: &str, scheme: Scheme, cfg: SystemConfig) -> CacheKey {
+    let keyed = cfg.with_scheme(scheme);
+    (bench.to_string(), scheme, format!("{keyed:?}"))
+}
+
+/// The process-wide memoized run cache. The `all` binary replays the
+/// same headline matrix for several figures (Figs. 3 and 4 share one;
+/// Figs. 9–12 overlap pairwise); memoization turns those replays into
+/// lookups. Simulations are deterministic, so a cached report is
+/// bit-identical to a rerun.
+fn matrix_cache() -> &'static Mutex<HashMap<CacheKey, RunReport>> {
+    static CACHE: OnceLock<Mutex<HashMap<CacheKey, RunReport>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Runs every `(benchmark, scheme)` pair of the matrix across the
+/// bounded worker pool and collects the reports. Worker count comes
+/// from [`fam_sim::default_jobs`] (`DEACT_JOBS`, else available
+/// parallelism); repeated runs of the same configuration in one
+/// process are served from the memoized cache.
 ///
 /// # Panics
 ///
 /// Panics if a worker thread panics or a benchmark name is unknown.
 pub fn run_matrix(benches: &[&str], schemes: &[Scheme], cfg: SystemConfig) -> Matrix {
-    let mut jobs: Vec<(String, Scheme)> = Vec::new();
+    run_matrix_opts(benches, schemes, cfg, default_jobs(), true)
+}
+
+/// [`run_matrix`] with explicit worker count and cache policy — the
+/// entry point the determinism tests drive directly (`jobs = 1` vs
+/// `jobs = n`, cache off so every run is live).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics or a benchmark name is unknown.
+pub fn run_matrix_opts(
+    benches: &[&str],
+    schemes: &[Scheme],
+    cfg: SystemConfig,
+    jobs: usize,
+    use_cache: bool,
+) -> Matrix {
+    let mut todo: Vec<(String, Scheme)> = Vec::new();
     for b in benches {
         for s in schemes {
-            jobs.push((b.to_string(), *s));
+            todo.push((b.to_string(), *s));
         }
     }
-    let results: Vec<((String, Scheme), RunReport)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|(b, s)| {
-                let cfg = cfg.with_scheme(*s);
-                let b = b.clone();
-                let s = *s;
-                scope.spawn(move || {
-                    let w =
-                        Workload::by_name(&b).unwrap_or_else(|| panic!("unknown benchmark {b}"));
-                    let report = deact::System::new(cfg, &w).run();
-                    ((b, s), report)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("benchmark worker panicked"))
+    let mut matrix = Matrix::new();
+    if use_cache {
+        let cache = matrix_cache().lock().expect("run cache poisoned");
+        todo.retain(|(b, s)| match cache.get(&cache_key(b, *s, cfg)) {
+            Some(report) => {
+                matrix.insert((b.clone(), *s), report.clone());
+                false
+            }
+            None => true,
+        });
+    }
+    if todo.is_empty() {
+        return matrix;
+    }
+    let results: Vec<((String, Scheme), RunReport)> = if jobs <= 1 || todo.len() == 1 {
+        todo.iter()
+            .map(|(b, s)| ((b.clone(), *s), run_one(b, *s, cfg)))
             .collect()
-    });
-    results.into_iter().collect()
+    } else {
+        let pool = ThreadPool::new(jobs.min(todo.len()));
+        let (tx, rx) = mpsc::channel();
+        for (b, s) in &todo {
+            let tx = tx.clone();
+            let (b, s) = (b.clone(), *s);
+            pool.execute(move || {
+                let report = run_one(&b, s, cfg);
+                let _ = tx.send(((b, s), report));
+            });
+        }
+        drop(tx);
+        let collected: Vec<_> = rx.iter().collect();
+        assert_eq!(collected.len(), todo.len(), "benchmark worker panicked");
+        collected
+    };
+    if use_cache {
+        let mut cache = matrix_cache().lock().expect("run cache poisoned");
+        for ((b, s), report) in &results {
+            cache.insert(cache_key(b, *s, cfg), report.clone());
+        }
+    }
+    matrix.extend(results);
+    matrix
+}
+
+fn run_one(bench: &str, scheme: Scheme, cfg: SystemConfig) -> RunReport {
+    let w = Workload::by_name(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+    deact::System::new(cfg.with_scheme(scheme), &w).run()
 }
 
 /// Prints a figure header.
@@ -193,6 +263,41 @@ mod tests {
         let m = run_matrix(&["astar", "pf"], &[Scheme::EFam, Scheme::IFam], cfg);
         assert_eq!(m.len(), 4);
         assert!(m[&("pf".to_string(), Scheme::IFam)].ipc > 0.0);
+    }
+
+    #[test]
+    fn pool_parallel_matrix_equals_serial_matrix() {
+        // Parallelism must not change a single bit of any report: the
+        // cache is disabled so both sweeps run live.
+        let cfg = SystemConfig::paper_default()
+            .with_refs_per_core(400)
+            .with_seed(0x9A12);
+        let benches = ["astar", "pf", "mg"];
+        let schemes = [Scheme::EFam, Scheme::IFam, Scheme::DeactN];
+        let serial = run_matrix_opts(&benches, &schemes, cfg, 1, false);
+        let parallel = run_matrix_opts(&benches, &schemes, cfg, 8, false);
+        assert_eq!(serial.len(), 9);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn cache_serves_repeat_matrices_identically() {
+        let cfg = SystemConfig::paper_default()
+            .with_refs_per_core(350)
+            .with_seed(0xCACE);
+        let benches = ["canl"];
+        let schemes = [Scheme::IFam, Scheme::DeactN];
+        let first = run_matrix_opts(&benches, &schemes, cfg, 2, true);
+        let second = run_matrix_opts(&benches, &schemes, cfg, 2, true);
+        assert_eq!(first, second);
+        // A different configuration must miss: same bench and scheme,
+        // different seed.
+        let third = run_matrix_opts(&benches, &schemes, cfg.with_seed(0xCACF), 2, true);
+        assert_ne!(
+            first[&("canl".to_string(), Scheme::IFam)].cycles,
+            third[&("canl".to_string(), Scheme::IFam)].cycles,
+            "seed change must not be served from the cache"
+        );
     }
 
     #[test]

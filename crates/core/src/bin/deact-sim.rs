@@ -5,9 +5,13 @@
 //!                           [--refs N] [--nodes N] [--fabric-ns N]
 //!                           [--stu-entries N] [--seed N]
 //!                           [--fault-profile transient[:seed]]
-//! deact-sim compare <benchmark> [--refs N]        # all four schemes
-//! deact-sim list                                   # Table III roster
+//! deact-sim compare <benchmark> [--refs N] [--jobs N]  # all four schemes
+//! deact-sim list                                       # Table III roster
 //! ```
+//!
+//! `--jobs N` bounds the worker threads `compare` uses to run the four
+//! schemes (default: `DEACT_JOBS`, else the host's available
+//! parallelism). Reports are bit-identical at any worker count.
 
 use std::process::ExitCode;
 
@@ -20,7 +24,7 @@ fn usage() -> ExitCode {
         "usage:\n  deact-sim run <benchmark> [--scheme S] [--refs N] [--nodes N] \
          [--fabric-ns N] [--stu-entries N] [--seed N] \
          [--fault-profile transient[:seed]]\n  \
-         deact-sim compare <benchmark> [--refs N]\n  deact-sim list"
+         deact-sim compare <benchmark> [--refs N] [--jobs N]\n  deact-sim list"
     );
     ExitCode::FAILURE
 }
@@ -46,6 +50,24 @@ fn parse_fault_profile(s: &str) -> Option<FaultConfig> {
         "off" | "none" => Some(FaultConfig::disabled()),
         _ => None,
     }
+}
+
+/// Splits `--jobs N` out of the argument list (it is a harness knob,
+/// not a [`SystemConfig`] field); returns the remaining flags and the
+/// worker count, defaulting to [`fam_sim::default_jobs`]. Returns
+/// `None` on a malformed count.
+fn extract_jobs(args: &[String]) -> Option<(Vec<String>, usize)> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut jobs = fam_sim::default_jobs();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--jobs" {
+            jobs = it.next()?.parse().ok().filter(|&n| n > 0)?;
+        } else {
+            rest.push(flag.clone());
+        }
+    }
+    Some((rest, jobs))
 }
 
 /// Applies `--key value` pairs onto the config; returns `None` on a
@@ -159,16 +181,25 @@ fn main() -> ExitCode {
             let Some(bench) = args.get(1) else {
                 return usage();
             };
-            let Some(cfg) = apply_flags(SystemConfig::paper_default(), &args[2..]) else {
+            let Some((rest, jobs)) = extract_jobs(&args[2..]) else {
                 return usage();
             };
+            let Some(cfg) = apply_flags(SystemConfig::paper_default(), &rest) else {
+                return usage();
+            };
+            // Run all four schemes across the bounded pool; printing
+            // happens afterwards in scheme order, so the table is
+            // identical at any worker count.
+            let reports = fam_sim::scoped_map(jobs, Scheme::ALL.len(), |i| {
+                run_or_report(bench, cfg.with_scheme(Scheme::ALL[i]))
+            });
             let mut baseline_ipc = None;
             println!(
                 "{:>8} {:>9} {:>10} {:>8} {:>8}",
                 "scheme", "ipc", "norm", "AT%", "secure"
             );
-            for scheme in Scheme::ALL {
-                let r = match run_or_report(bench, cfg.with_scheme(scheme)) {
+            for (scheme, report) in Scheme::ALL.into_iter().zip(reports) {
+                let r = match report {
                     Ok(r) => r,
                     Err(code) => return code,
                 };

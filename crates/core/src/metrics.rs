@@ -146,7 +146,12 @@ impl FaultRecovery {
 
 /// The result of one simulation run: one benchmark under one scheme
 /// and configuration.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (including the derived `f64`
+/// rates), which is exactly what the scheduler-equivalence and
+/// parallel-determinism tests need: two runs are "the same" only if
+/// they are bit-identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Scheme simulated.
     pub scheme: Scheme,

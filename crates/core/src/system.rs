@@ -4,7 +4,7 @@ use fam_broker::{AccessKind, BrokerConfig, MemoryBroker};
 use fam_fabric::packet::{Packet, PacketKind};
 use fam_fabric::Fabric;
 use fam_mem::{MemOpKind, NvmModel};
-use fam_sim::{Cycle, Duration, FabricFault, FaultInjector};
+use fam_sim::{Cycle, Duration, FabricFault, FaultInjector, IndexedMinHeap};
 use fam_stu::Stu;
 use fam_vm::{Pte, VirtAddr, PAGE_BYTES};
 use fam_workloads::{MemRef, RefStream, TraceGenerator, Workload};
@@ -55,6 +55,9 @@ pub struct System {
     /// Response-side recovery accounting (the injected-fault counters
     /// come from the injector itself at report time).
     recovery: FaultRecovery,
+    /// Reusable wire-frame buffer for the fault injector's corruption
+    /// path, so injected frames don't allocate a fresh `Vec` each.
+    frame_scratch: Vec<u8>,
 }
 
 impl System {
@@ -163,6 +166,7 @@ impl System {
             traffic: FamTraffic::default(),
             injector: FaultInjector::new(config.fault_injection),
             recovery: FaultRecovery::default(),
+            frame_scratch: Vec::with_capacity(fam_fabric::packet::PACKET_BYTES),
             config,
         }
     }
@@ -211,18 +215,65 @@ impl System {
     /// Runs every core to `refs_per_core` references and reports,
     /// surfacing failures as a typed [`SimError`] instead of a panic.
     ///
+    /// The scheduler is event-driven: every staged core sits in an
+    /// indexed min-heap keyed on `(ready_cycle, node, core)`, and each
+    /// simulated reference costs one pop plus one re-insert — O(log
+    /// total_cores) — instead of the reference scan's two full sweeps
+    /// over every core ([`System::try_run_scan`]). The explicit
+    /// `(node, core)` tie-break in the key reproduces the scan's
+    /// first-wins order among equal ready times, and a core's predicted
+    /// ready time depends only on its own front-end and outstanding
+    /// window, so only the core that just executed needs re-keying:
+    /// the two schedulers execute the same references in the same order
+    /// and their reports are bit-identical (a property the integration
+    /// tests pin down).
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::FamExhausted`] when the broker cannot
     /// demand-map another FAM page for the workload.
     pub fn try_run(&mut self) -> Result<RunReport, SimError> {
         let refs = self.config.refs_per_core;
+        let cores_per_node = self.config.cores_per_node;
+        let mut ready_queue: IndexedMinHeap<(Cycle, usize)> =
+            IndexedMinHeap::new(self.nodes.len() * cores_per_node);
+        for n in 0..self.nodes.len() {
+            for c in 0..self.nodes[n].cores.len() {
+                if self.nodes[n].cores[c].refs_done < refs {
+                    self.stage_ref(n, c);
+                    let slot = n * cores_per_node + c;
+                    ready_queue.insert(slot, (self.staged_ready(n, c), slot));
+                }
+            }
+        }
+        // Execute in ready order so the shared-resource timelines
+        // advance in time order. (Out-of-order processing would let a
+        // far-future request push a resource's timeline past everyone
+        // else's present.)
+        while let Some((slot, _)) = ready_queue.pop() {
+            let (n, c) = (slot / cores_per_node, slot % cores_per_node);
+            self.sim_ref(n, c)?;
+            if self.nodes[n].cores[c].refs_done < refs {
+                self.stage_ref(n, c);
+                ready_queue.insert(slot, (self.staged_ready(n, c), slot));
+            }
+        }
+        Ok(self.report())
+    }
+
+    /// The reference scheduler the seed shipped: stages every idle
+    /// core, then rescans all nodes × cores for the earliest pending
+    /// request — O(total_cores) per reference. Kept as the executable
+    /// specification the heap scheduler is tested against; new callers
+    /// want [`System::try_run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FamExhausted`] when the broker cannot
+    /// demand-map another FAM page for the workload.
+    pub fn try_run_scan(&mut self) -> Result<RunReport, SimError> {
+        let refs = self.config.refs_per_core;
         loop {
-            // Stage one reference per unfinished core, then execute
-            // the one with the earliest *true* start time so the
-            // shared-resource timelines advance in time order. (Out-of-
-            // order processing would let a far-future request push a
-            // resource's timeline past everyone else's present.)
             for n in 0..self.nodes.len() {
                 for c in 0..self.nodes[n].cores.len() {
                     let core = &self.nodes[n].cores[c];
@@ -245,6 +296,14 @@ impl System {
             self.sim_ref(n, c)?;
         }
         Ok(self.report())
+    }
+
+    /// Predicted start of the reference just staged on `(n, c)`.
+    fn staged_ready(&self, n: usize, c: usize) -> Cycle {
+        self.nodes[n].cores[c]
+            .pending
+            .expect("staged_ready follows stage_ref")
+            .ready
     }
 
     /// Draws the next reference of core `c` and predicts its start.
@@ -443,8 +502,8 @@ impl System {
                     // catch it — detection is earned, not assumed. The
                     // FAM side answers with a corrupt-NACK, costing a
                     // full fabric round trip with no device service.
-                    let frame = self.corrupted_frame(n, fam_byte, kind, state.attempts());
-                    match Packet::decode(&frame) {
+                    self.fill_corrupted_frame(n, fam_byte, kind, state.attempts());
+                    match Packet::decode(&self.frame_scratch) {
                         Err(_) => {
                             self.recovery.nacks_corrupt += 1;
                             let arrival = self.fabric.node_to_fam(t, n);
@@ -481,9 +540,10 @@ impl System {
         }
     }
 
-    /// Encodes the request as its wire packet and applies the
-    /// injector's chosen corruption to it.
-    fn corrupted_frame(&mut self, n: usize, fam_byte: u64, kind: MemOpKind, tag: u32) -> Vec<u8> {
+    /// Encodes the request as its wire packet into the per-`System`
+    /// scratch buffer and applies the injector's chosen corruption to
+    /// it — no allocation per injected frame.
+    fn fill_corrupted_frame(&mut self, n: usize, fam_byte: u64, kind: MemOpKind, tag: u32) {
         let packet = Packet {
             kind: match kind {
                 MemOpKind::Read => PacketKind::Read,
@@ -494,10 +554,9 @@ impl System {
             verified: true,
             tag: tag as u16,
         };
-        let mut frame = packet.encode();
-        let (pos, mask) = self.injector.corruption_site(frame.len());
-        frame[pos] ^= mask;
-        frame
+        packet.encode_into(&mut self.frame_scratch);
+        let (pos, mask) = self.injector.corruption_site(self.frame_scratch.len());
+        self.frame_scratch[pos] ^= mask;
     }
 
     /// The fault-free round trip: fabric there, device service,

@@ -131,10 +131,9 @@ fn get_u64(wire: &[u8], at: usize) -> u64 {
 }
 
 /// Appends the CRC trailer over everything already in `buf`.
-fn seal(mut buf: Vec<u8>) -> Vec<u8> {
-    let crc = crc16(&buf);
-    put_u16(&mut buf, crc);
-    buf
+fn seal(buf: &mut Vec<u8>) {
+    let crc = crc16(buf);
+    put_u16(buf, crc);
 }
 
 /// Verifies the CRC trailer of `wire` (last two bytes).
@@ -230,12 +229,22 @@ impl Packet {
     /// Serializes the packet to its wire form, CRC trailer included.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(PACKET_BYTES);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serializes into a caller-owned buffer (cleared first), so hot
+    /// paths that encode one frame per simulated fault can reuse a
+    /// single allocation instead of building a fresh `Vec` each time.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.reserve(PACKET_BYTES);
         buf.push(self.kind.code());
         buf.push(self.verified as u8);
-        put_u16(&mut buf, self.source.raw());
-        put_u16(&mut buf, self.tag);
-        put_u64(&mut buf, self.addr);
-        seal(buf)
+        put_u16(buf, self.source.raw());
+        put_u16(buf, self.tag);
+        put_u64(buf, self.addr);
+        seal(buf);
     }
 
     /// Parses a packet from its wire form, verifying the CRC trailer
@@ -311,21 +320,30 @@ impl Response {
     /// Serializes the response, CRC trailer included.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(RESPONSE_BYTES);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serializes into a caller-owned buffer (cleared first); see
+    /// [`Packet::encode_into`].
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.reserve(RESPONSE_BYTES);
         match *self {
             Response::Ack { tag, addr } => {
                 buf.push(0);
                 buf.push(0);
-                put_u16(&mut buf, tag);
-                put_u64(&mut buf, addr);
+                put_u16(buf, tag);
+                put_u64(buf, addr);
             }
             Response::Nack { nack, tag, addr } => {
                 buf.push(1);
                 buf.push(nack.code());
-                put_u16(&mut buf, tag);
-                put_u64(&mut buf, addr);
+                put_u16(buf, tag);
+                put_u64(buf, addr);
             }
         }
-        seal(buf)
+        seal(buf);
     }
 
     /// Parses a response from its wire form, verifying the CRC first.
@@ -387,6 +405,25 @@ mod tests {
     #[test]
     fn encoded_size_is_fixed() {
         assert_eq!(sample(PacketKind::Read, true).encode().len(), PACKET_BYTES);
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_encode() {
+        let mut buf = Vec::new();
+        for tag in 0..4u16 {
+            let mut p = sample(PacketKind::Write, false);
+            p.tag = tag;
+            p.encode_into(&mut buf);
+            assert_eq!(buf, p.encode(), "tag {tag}");
+        }
+        let r = Response::Nack {
+            nack: Nack::Timeout,
+            tag: 3,
+            addr: 0x77,
+        };
+        r.encode_into(&mut buf);
+        assert_eq!(buf, r.encode());
+        assert_eq!(Response::decode(&buf).unwrap(), r);
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //!   cycles at a configurable core frequency).
 //! * [`EventQueue`] — a deterministic priority queue of timestamped
 //!   events with FIFO tie-breaking.
+//! * [`IndexedMinHeap`] — an indexed min-priority queue supporting
+//!   O(log n) re-keying by slot id, the core of the event-driven
+//!   reference scheduler.
+//! * [`ThreadPool`] / [`scoped_map`] — a bounded work-queue thread pool
+//!   and a scoped bounded parallel map, the substrate of the experiment
+//!   harness's sweep engine.
 //! * [`Resource`] / [`BankedResource`] / [`Window`] — contention
 //!   primitives: a serially-occupied unit (a DRAM channel, a fabric
 //!   link), a set of independently occupied banks (NVM banks), and a
@@ -41,6 +47,8 @@
 mod clock;
 mod event;
 mod fault;
+mod pool;
+mod queue;
 mod resource;
 mod rng;
 pub mod stats;
@@ -49,6 +57,8 @@ mod window;
 pub use clock::{Cycle, Duration, Frequency};
 pub use event::EventQueue;
 pub use fault::{FabricFault, FaultConfig, FaultInjector, FaultStats};
+pub use pool::{default_jobs, scoped_map, ThreadPool};
+pub use queue::IndexedMinHeap;
 pub use resource::{BankedResource, Resource};
 pub use rng::SimRng;
 pub use window::Window;

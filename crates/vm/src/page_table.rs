@@ -1,7 +1,5 @@
 //! A 4-level x86-64-style radix page table.
 
-use std::collections::HashMap;
-
 use crate::addr::PAGE_BYTES;
 
 /// Number of radix levels (PGD, PUD, PMD, PTE — §II-B).
@@ -10,6 +8,8 @@ pub const LEVELS: usize = 4;
 /// Bits of index per level.
 const INDEX_BITS: u32 = 9;
 const INDEX_MASK: u64 = (1 << INDEX_BITS) - 1;
+/// Slots per table node (`2^INDEX_BITS`, exactly as in hardware).
+const NODE_SLOTS: usize = 1 << INDEX_BITS;
 /// Bytes per page-table entry.
 const ENTRY_BYTES: u64 = 8;
 
@@ -102,10 +102,38 @@ enum Slot {
     Leaf(Pte),
 }
 
+/// One table page. A page-table index is 9 bits, so instead of hashing
+/// `u16` keys the node stores its 512 slots directly — a lookup is one
+/// bounds-free array read, exactly the access a real table page does.
 #[derive(Debug, Clone)]
 struct Node {
     base_addr: u64,
-    entries: HashMap<u16, Slot>,
+    slots: Box<[Option<Slot>]>,
+}
+
+impl Node {
+    fn new(base_addr: u64) -> Node {
+        Node {
+            base_addr,
+            slots: vec![None; NODE_SLOTS].into_boxed_slice(),
+        }
+    }
+
+    fn get(&self, idx: u16) -> Option<&Slot> {
+        self.slots[idx as usize].as_ref()
+    }
+
+    fn get_mut(&mut self, idx: u16) -> Option<&mut Slot> {
+        self.slots[idx as usize].as_mut()
+    }
+
+    fn set(&mut self, idx: u16, slot: Slot) -> Option<Slot> {
+        self.slots[idx as usize].replace(slot)
+    }
+
+    fn take(&mut self, idx: u16) -> Option<Slot> {
+        self.slots[idx as usize].take()
+    }
 }
 
 /// A hierarchical 4-level page table whose interior nodes live at real
@@ -144,10 +172,7 @@ impl PageTable {
     /// `root_addr` (the simulated CR3 value).
     pub fn new(root_addr: u64) -> PageTable {
         PageTable {
-            nodes: vec![Node {
-                base_addr: root_addr,
-                entries: HashMap::new(),
-            }],
+            nodes: vec![Node::new(root_addr)],
             mapped: 0,
         }
     }
@@ -173,7 +198,7 @@ impl PageTable {
         let mut node = 0usize;
         for level in 0..LEVELS - 1 {
             let idx = Self::index_at(vpage, level);
-            let next = match self.nodes[node].entries.get(&idx) {
+            let next = match self.nodes[node].get(idx) {
                 Some(Slot::Table(n)) => *n,
                 Some(Slot::Leaf(_)) => {
                     panic!("region is huge-mapped; splitting is not supported")
@@ -181,20 +206,15 @@ impl PageTable {
                 None => {
                     let base_addr = alloc_page(level + 1);
                     let n = self.nodes.len();
-                    self.nodes.push(Node {
-                        base_addr,
-                        entries: HashMap::new(),
-                    });
-                    self.nodes[node].entries.insert(idx, Slot::Table(n));
+                    self.nodes.push(Node::new(base_addr));
+                    self.nodes[node].set(idx, Slot::Table(n));
                     n
                 }
             };
             node = next;
         }
         let idx = Self::index_at(vpage, LEVELS - 1);
-        let old = self.nodes[node]
-            .entries
-            .insert(idx, Slot::Leaf(Pte { target_page, flags }));
+        let old = self.nodes[node].set(idx, Slot::Leaf(Pte { target_page, flags }));
         match old {
             Some(Slot::Leaf(pte)) => Some(pte),
             Some(Slot::Table(_)) => unreachable!("leaf level never holds tables"),
@@ -236,27 +256,21 @@ impl PageTable {
         let mut node = 0usize;
         for level in 0..leaf_level {
             let idx = Self::index_at(vpage, level);
-            let next = match self.nodes[node].entries.get(&idx) {
+            let next = match self.nodes[node].get(idx) {
                 Some(Slot::Table(n)) => *n,
                 Some(Slot::Leaf(_)) => panic!("region already huge-mapped at a higher level"),
                 None => {
                     let base_addr = alloc_page(level + 1);
                     let n = self.nodes.len();
-                    self.nodes.push(Node {
-                        base_addr,
-                        entries: HashMap::new(),
-                    });
-                    self.nodes[node].entries.insert(idx, Slot::Table(n));
+                    self.nodes.push(Node::new(base_addr));
+                    self.nodes[node].set(idx, Slot::Table(n));
                     n
                 }
             };
             node = next;
         }
         let idx = Self::index_at(vpage, leaf_level);
-        match self.nodes[node]
-            .entries
-            .insert(idx, Slot::Leaf(Pte { target_page, flags }))
-        {
+        match self.nodes[node].set(idx, Slot::Leaf(Pte { target_page, flags })) {
             Some(Slot::Leaf(pte)) => Some(pte),
             Some(Slot::Table(_)) => {
                 panic!("region already holds smaller mappings; splitting is not supported")
@@ -278,19 +292,19 @@ impl PageTable {
         let mut node = 0usize;
         for level in 0..leaf_level {
             let idx = Self::index_at(vpage, level);
-            match self.nodes[node].entries.get(&idx) {
+            match self.nodes[node].get(idx) {
                 Some(Slot::Table(n)) => node = *n,
                 _ => return None,
             }
         }
         let idx = Self::index_at(vpage, leaf_level);
-        match self.nodes[node].entries.remove(&idx) {
+        match self.nodes[node].take(idx) {
             Some(Slot::Leaf(pte)) => {
                 self.mapped -= 1;
                 Some(pte)
             }
             Some(slot) => {
-                self.nodes[node].entries.insert(idx, slot);
+                self.nodes[node].set(idx, slot);
                 None
             }
             None => None,
@@ -315,7 +329,7 @@ impl PageTable {
                 level,
                 entry_addr: self.nodes[node].base_addr + idx as u64 * ENTRY_BYTES,
             });
-            match self.nodes[node].entries.get(&idx) {
+            match self.nodes[node].get(idx) {
                 Some(Slot::Table(n)) => node = *n,
                 Some(Slot::Leaf(pte)) => {
                     return Walk {
@@ -343,7 +357,7 @@ impl PageTable {
             if l == level {
                 return Some(addr);
             }
-            match self.nodes[node].entries.get(&idx) {
+            match self.nodes[node].get(idx) {
                 Some(Slot::Table(n)) => node = *n,
                 _ => return None,
             }
@@ -363,19 +377,19 @@ impl PageTable {
         let mut node = 0usize;
         for level in 0..LEVELS - 1 {
             let idx = Self::index_at(vpage, level);
-            match self.nodes[node].entries.get(&idx) {
+            match self.nodes[node].get(idx) {
                 Some(Slot::Table(n)) => node = *n,
                 _ => return None,
             }
         }
         let idx = Self::index_at(vpage, LEVELS - 1);
-        match self.nodes[node].entries.remove(&idx) {
+        match self.nodes[node].take(idx) {
             Some(Slot::Leaf(pte)) => {
                 self.mapped -= 1;
                 Some(pte)
             }
             Some(slot) => {
-                self.nodes[node].entries.insert(idx, slot);
+                self.nodes[node].set(idx, slot);
                 None
             }
             None => None,
@@ -388,13 +402,13 @@ impl PageTable {
         let mut node = 0usize;
         for level in 0..LEVELS - 1 {
             let idx = Self::index_at(vpage, level);
-            match self.nodes[node].entries.get(&idx) {
+            match self.nodes[node].get(idx) {
                 Some(Slot::Table(n)) => node = *n,
                 _ => return false,
             }
         }
         let idx = Self::index_at(vpage, LEVELS - 1);
-        match self.nodes[node].entries.get_mut(&idx) {
+        match self.nodes[node].get_mut(idx) {
             Some(Slot::Leaf(pte)) => {
                 pte.flags = flags;
                 true
