@@ -16,8 +16,14 @@
 //! Results print as a table and are also written to `BENCH_sim.json`
 //! (schema `deact-microbench-v1`) so CI can archive them.
 //!
+//! The end-to-end runs honour `DEACT_TRACE` (`off` (default) |
+//! `breakdown` | `full`), which is how the tracer's own overhead is
+//! measured: run once with `off` and once with `breakdown`/`full` and
+//! compare `sched_per_ref`/`system_throughput`.
+//!
 //! ```sh
 //! cargo run --release -p fam-bench --bin microbench
+//! DEACT_TRACE=breakdown cargo run --release -p fam-bench --bin microbench
 //! ```
 
 use std::hint::black_box;
@@ -98,7 +104,8 @@ fn bench_scheduler_scaling(records: &mut Vec<Record>) {
             .with_nodes(nodes)
             .with_fam_modules(nodes)
             .with_refs_per_core(SCHED_REFS)
-            .with_seed(0xBE9C);
+            .with_seed(0xBE9C)
+            .with_trace(fam_bench::trace_from_env(fam_sim::TraceConfig::disabled()));
         let cores = nodes * cfg.cores_per_node;
         let samples: Vec<f64> = (0..SCHED_REPS).map(|_| time_system_run(cfg)).collect();
         let ns = median(samples);
@@ -116,7 +123,8 @@ fn bench_scheduler_scaling(records: &mut Vec<Record>) {
 fn bench_throughput() -> Throughput {
     let cfg = SystemConfig::paper_default()
         .with_refs_per_core(20_000)
-        .with_seed(0xBE9C);
+        .with_seed(0xBE9C)
+        .with_trace(fam_bench::trace_from_env(fam_sim::TraceConfig::disabled()));
     let w = Workload::by_name("sssp").expect("table3 benchmark");
     let total_refs = cfg.refs_per_core * (cfg.nodes * cfg.cores_per_node) as u64;
     let start = Instant::now();

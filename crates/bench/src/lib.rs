@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::{mpsc, Mutex, OnceLock};
 
 use deact::{RunReport, Scheme, SystemConfig};
-use fam_sim::{default_jobs, ThreadPool};
+use fam_sim::{default_jobs, Stage, ThreadPool, TraceConfig};
 use fam_workloads::{table3, Workload};
 
 pub mod figs;
@@ -34,6 +34,29 @@ pub fn refs_from_env(default: u64) -> u64 {
     std::env::var("DEACT_REFS")
         .ok()
         .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses one `DEACT_TRACE` value: `off`/`0`/`none` disables tracing,
+/// `breakdown` keeps only the per-stage histograms (no event ring),
+/// `on`/`1`/`full` keeps the bounded event ring too. Unrecognised
+/// values return `None`.
+pub fn parse_trace_mode(value: &str) -> Option<TraceConfig> {
+    match value.to_ascii_lowercase().as_str() {
+        "off" | "0" | "none" => Some(TraceConfig::disabled()),
+        "breakdown" => Some(TraceConfig::breakdown_only()),
+        "on" | "1" | "full" => Some(TraceConfig::full()),
+        _ => None,
+    }
+}
+
+/// Tracer configuration from the `DEACT_TRACE` environment variable
+/// (see [`parse_trace_mode`]), defaulting to `default` when unset or
+/// unrecognised — the same contract as [`refs_from_env`].
+pub fn trace_from_env(default: TraceConfig) -> TraceConfig {
+    std::env::var("DEACT_TRACE")
+        .ok()
+        .and_then(|v| parse_trace_mode(&v))
         .unwrap_or(default)
 }
 
@@ -180,25 +203,33 @@ pub fn suite_members(suite: &str) -> Vec<&'static str> {
 pub const SUITE_GROUPS: [&str; 5] = ["SPEC", "PARSEC", "GAP", "pf", "dc"];
 
 /// Serialises a matrix to CSV (one row per benchmark × scheme) for
-/// external plotting.
+/// external plotting. Alongside the headline metrics, each row carries
+/// the [`deact::FaultRecovery`] counters (all zero when injection is
+/// off) and one `lat_mean_<stage>` column per trace [`Stage`] — the
+/// mean span length in cycles, blank when the run was not traced.
 ///
 /// # Errors
 ///
 /// Propagates writer errors.
 pub fn write_csv<W: std::io::Write>(mut w: W, matrix: &Matrix) -> std::io::Result<()> {
-    writeln!(
+    write!(
         w,
         "benchmark,scheme,ipc,cycles,instructions,at_percent,translation_hit,acm_hit,\
          tlb_hit,mpki,fam_data_reads,fam_data_writes,fam_writebacks,fam_at_reads,\
-         dram_reads,dram_writes,faults"
+         dram_reads,dram_writes,faults,injected_faults,retries,timeouts,nacks_corrupt,\
+         nacks_stale,recovered,fatal,backoff_cycles"
     )?;
+    for stage in Stage::ALL {
+        write!(w, ",lat_mean_{}", stage.name())?;
+    }
+    writeln!(w)?;
     let mut keys: Vec<&(String, Scheme)> = matrix.keys().collect();
     keys.sort_by(|a, b| (&a.0, a.1.name()).cmp(&(&b.0, b.1.name())));
     for key in keys {
         let r = &matrix[key];
-        writeln!(
+        write!(
             w,
-            "{},{},{:.6},{},{},{:.4},{},{},{:.4},{:.2},{},{},{},{},{},{},{}",
+            "{},{},{:.6},{},{},{:.4},{},{},{:.4},{:.2},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.workload,
             r.scheme.name(),
             r.ipc,
@@ -217,7 +248,24 @@ pub fn write_csv<W: std::io::Write>(mut w: W, matrix: &Matrix) -> std::io::Resul
             r.dram_reads,
             r.dram_writes,
             r.faults,
+            r.recovery.injected_total(),
+            r.recovery.retries,
+            r.recovery.timeouts,
+            r.recovery.nacks_corrupt,
+            r.recovery.nacks_stale,
+            r.recovery.recovered,
+            r.recovery.fatal,
+            r.recovery.backoff_cycles,
         )?;
+        for stage in Stage::ALL {
+            let h = r.latency.stage(stage);
+            if h.count() == 0 {
+                write!(w, ",")?;
+            } else {
+                write!(w, ",{:.2}", h.mean())?;
+            }
+        }
+        writeln!(w)?;
     }
     Ok(())
 }
@@ -310,15 +358,55 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("benchmark,scheme,ipc"));
+        assert!(lines[0].contains(",injected_faults,retries,"));
+        assert!(lines[0].ends_with(",lat_mean_retry,lat_mean_backoff"));
         assert!(lines[1].starts_with("astar,E-FAM,"));
         assert!(lines[2].starts_with("astar,I-FAM,"));
         // E-FAM row has empty hit-rate cells.
         assert!(lines[1].contains(",,"));
+        // Every row has one cell per header column.
+        let cols = lines[0].split(',').count();
+        assert!(lines[1..].iter().all(|l| l.split(',').count() == cols));
+        // Untraced runs leave the latency cells blank.
+        assert!(lines[1].ends_with(&",".repeat(Stage::COUNT)));
+    }
+
+    #[test]
+    fn csv_latency_cells_populate_when_traced() {
+        let cfg = SystemConfig::paper_default()
+            .with_refs_per_core(200)
+            .with_trace(fam_sim::TraceConfig::breakdown_only());
+        let m = run_matrix(&["astar"], &[Scheme::DeactN], cfg);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &m).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let row = text.lines().nth(1).unwrap();
+        let header = text.lines().next().unwrap();
+        let nvm_col = header
+            .split(',')
+            .position(|h| h == "lat_mean_nvm_access")
+            .unwrap();
+        let cell = row.split(',').nth(nvm_col).unwrap();
+        assert!(!cell.is_empty(), "traced run must fill {row}");
+        assert!(cell.parse::<f64>().unwrap() > 0.0);
     }
 
     #[test]
     fn refs_env_fallback() {
         std::env::remove_var("DEACT_REFS");
         assert_eq!(refs_from_env(123), 123);
+    }
+
+    #[test]
+    fn trace_mode_parses_the_documented_spellings() {
+        assert_eq!(parse_trace_mode("off"), Some(TraceConfig::disabled()));
+        assert_eq!(parse_trace_mode("0"), Some(TraceConfig::disabled()));
+        assert_eq!(
+            parse_trace_mode("breakdown"),
+            Some(TraceConfig::breakdown_only())
+        );
+        assert_eq!(parse_trace_mode("FULL"), Some(TraceConfig::full()));
+        assert_eq!(parse_trace_mode("1"), Some(TraceConfig::full()));
+        assert_eq!(parse_trace_mode("sideways"), None);
     }
 }

@@ -6,25 +6,35 @@
 //!                           [--stu-entries N] [--seed N]
 //!                           [--fault-profile transient[:seed]]
 //! deact-sim compare <benchmark> [--refs N] [--jobs N]  # all four schemes
+//! deact-sim trace [<benchmark>] [--out trace.json] [--window N]
+//!                 [--ring N] [plus any `run` flag]    # Perfetto trace
 //! deact-sim list                                       # Table III roster
 //! ```
 //!
 //! `--jobs N` bounds the worker threads `compare` uses to run the four
 //! schemes (default: `DEACT_JOBS`, else the host's available
 //! parallelism). Reports are bit-identical at any worker count.
+//!
+//! `trace` runs one benchmark (default `sssp` under the paper-default
+//! DeACT-N configuration) with the tracer on and writes a Chrome
+//! trace-event JSON file loadable in Perfetto / `chrome://tracing`,
+//! then prints the per-stage latency breakdown, the windowed time
+//! series, and the ring's drop accounting.
 
 use std::process::ExitCode;
 
-use deact::{try_run_benchmark, RunReport, Scheme, SystemConfig};
-use fam_sim::FaultConfig;
-use fam_workloads::table3;
+use deact::{try_run_benchmark, RunReport, Scheme, System, SystemConfig};
+use fam_sim::{trace::write_chrome_trace, FaultConfig, TraceConfig};
+use fam_workloads::{table3, Workload};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  deact-sim run <benchmark> [--scheme S] [--refs N] [--nodes N] \
          [--fabric-ns N] [--stu-entries N] [--seed N] \
          [--fault-profile transient[:seed]]\n  \
-         deact-sim compare <benchmark> [--refs N] [--jobs N]\n  deact-sim list"
+         deact-sim compare <benchmark> [--refs N] [--jobs N]\n  \
+         deact-sim trace [<benchmark>] [--out trace.json] [--window N] [--ring N] \
+         [plus any `run` flag]\n  deact-sim list"
     );
     ExitCode::FAILURE
 }
@@ -68,6 +78,27 @@ fn extract_jobs(args: &[String]) -> Option<(Vec<String>, usize)> {
         }
     }
     Some((rest, jobs))
+}
+
+/// Splits the trace-only options (`--out`, `--window`, `--ring`) out of
+/// the argument list; returns the remaining flags, the output path, and
+/// the tracer configuration. Returns `None` on a malformed option.
+fn extract_trace_opts(args: &[String]) -> Option<(Vec<String>, String, TraceConfig)> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut out = String::from("trace.json");
+    let mut trace = TraceConfig::full();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out = it.next()?.clone(),
+            "--window" => {
+                trace = trace.with_window_cycles(it.next()?.parse().ok().filter(|&n| n > 0)?);
+            }
+            "--ring" => trace = trace.with_ring_capacity(it.next()?.parse().ok()?),
+            _ => rest.push(flag.clone()),
+        }
+    }
+    Some((rest, out, trace))
 }
 
 /// Applies `--key value` pairs onto the config; returns `None` on a
@@ -118,6 +149,17 @@ fn print_report(r: &RunReport) {
         r.dram_reads, r.dram_writes
     );
     println!("page faults      {}", r.faults);
+    if !r.latency.is_empty() {
+        println!(
+            "latency          {} spans across {} stages:",
+            r.latency.total_samples(),
+            fam_sim::Stage::ALL
+                .iter()
+                .filter(|s| r.latency.stage(**s).count() > 0)
+                .count()
+        );
+        print!("{}", r.latency);
+    }
     if !r.recovery.is_zero() {
         let f = &r.recovery;
         println!(
@@ -176,6 +218,84 @@ fn main() -> ExitCode {
                 }
                 Err(code) => code,
             }
+        }
+        Some("trace") => {
+            // `trace [<benchmark>] [flags]` — the benchmark positional
+            // is optional so a bare `deact-sim trace` captures the
+            // paper-default DeACT-N run the acceptance demo asks for.
+            let (bench, flags) = match args.get(1) {
+                Some(a) if !a.starts_with("--") => (a.clone(), &args[2..]),
+                _ => (String::from("sssp"), &args[1..]),
+            };
+            let Some((rest, out, trace)) = extract_trace_opts(flags) else {
+                return usage();
+            };
+            let Some(cfg) = apply_flags(
+                SystemConfig::paper_default().with_scheme(Scheme::DeactN),
+                &rest,
+            ) else {
+                return usage();
+            };
+            let cfg = cfg.with_trace(trace);
+            let Some(workload) = Workload::by_name(&bench) else {
+                eprintln!("deact-sim: unknown benchmark `{bench}` (see `deact-sim list`)");
+                return ExitCode::FAILURE;
+            };
+            let frequency_mhz = cfg.frequency_mhz;
+            let mut system = System::new(cfg, &workload);
+            let r = match system.try_run() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("deact-sim: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let tracer = system.tracer();
+            let file = match std::fs::File::create(&out) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("deact-sim: cannot create {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = write_chrome_trace(std::io::BufWriter::new(file), tracer, frequency_mhz)
+            {
+                eprintln!("deact-sim: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            print_report(&r);
+            println!(
+                "trace            {} events recorded, {} retained, {} dropped, {} requests",
+                tracer.recorded(),
+                tracer.retained(),
+                tracer.dropped(),
+                tracer.requests_issued()
+            );
+            let series = tracer.series();
+            if !series.samples().is_empty() {
+                println!(
+                    "timeline         {} windows of {} cycles (IPC / AT% per window):",
+                    series.samples().len(),
+                    series.window_cycles()
+                );
+                for (i, w) in series.samples().iter().enumerate() {
+                    println!(
+                        "  [{i:>3}] ipc {:.4}  at {:>5.1}%  retries {}  recovered {}",
+                        w.ipc(series.window_cycles()),
+                        w.at_percent(),
+                        w.retries,
+                        w.recovered
+                    );
+                }
+                if series.clipped() > 0 {
+                    println!(
+                        "  ({} completions clipped into the last window)",
+                        series.clipped()
+                    );
+                }
+            }
+            println!("wrote {out} (load it at https://ui.perfetto.dev or chrome://tracing)");
+            ExitCode::SUCCESS
         }
         Some("compare") => {
             let Some(bench) = args.get(1) else {

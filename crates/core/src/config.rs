@@ -3,7 +3,7 @@
 use fam_broker::AcmWidth;
 use fam_fabric::FabricConfig;
 use fam_mem::{HierarchyConfig, NvmConfig};
-use fam_sim::{FaultConfig, Frequency};
+use fam_sim::{FaultConfig, Frequency, TraceConfig};
 use fam_stu::StuConfig;
 use fam_vm::TlbConfig;
 
@@ -119,6 +119,12 @@ pub struct SystemConfig {
     /// Retry/timeout/backoff policy the nodes use to recover from
     /// injected faults.
     pub retry: RetryConfig,
+    /// Request-lifecycle tracing (event ring, latency breakdown,
+    /// windowed time series). Disabled by default — like
+    /// `fault_injection`, a disabled tracer is a zero-cost no-op and
+    /// default runs are bit-identical to a build without the trace
+    /// layer.
+    pub trace: TraceConfig,
 }
 
 impl SystemConfig {
@@ -158,6 +164,7 @@ impl SystemConfig {
             seed: 0xDEAC7,
             fault_injection: FaultConfig::disabled(),
             retry: RetryConfig::default(),
+            trace: TraceConfig::disabled(),
         }
     }
 
@@ -286,6 +293,13 @@ impl SystemConfig {
     #[must_use]
     pub fn with_retry(mut self, retry: RetryConfig) -> SystemConfig {
         self.retry = retry;
+        self
+    }
+
+    /// Sets the tracing configuration (see [`TraceConfig`]).
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> SystemConfig {
+        self.trace = trace;
         self
     }
 
@@ -430,6 +444,8 @@ mod tests {
         let c = SystemConfig::paper_default();
         assert!(!c.fault_injection.enabled);
         assert_eq!(c.retry, RetryConfig::default());
+        assert!(!c.trace.enabled, "tracing defaults off like faults");
+        assert!(c.with_trace(TraceConfig::full()).trace.enabled);
         let faulty = c.with_fault_injection(FaultConfig::transient(9));
         assert!(faulty.fault_injection.enabled);
         faulty.validate();

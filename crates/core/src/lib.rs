@@ -57,6 +57,10 @@ mod translator;
 
 pub use config::SystemConfig;
 pub use error::SimError;
+// The tracing vocabulary types cross this crate's public API
+// (`SystemConfig::with_trace`, `RunReport::latency`,
+// `System::tracer`), so re-export them for downstream convenience.
+pub use fam_sim::{LatencyBreakdown, RequestId, Stage, TraceConfig, TraceEvent, Tracer, Track};
 pub use metrics::{FamTraffic, FaultRecovery, RunReport};
 pub use scheme::Scheme;
 pub use system::{run_benchmark, try_run_benchmark, System};

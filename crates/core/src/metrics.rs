@@ -1,6 +1,7 @@
 //! Run-level metrics: everything the paper's figures plot.
 
 use crate::Scheme;
+use fam_sim::LatencyBreakdown;
 
 /// Request traffic observed *at the FAM*, split the way Figs. 4 and 11
 /// split it: address-translation (AT) requests vs everything else.
@@ -192,6 +193,12 @@ pub struct RunReport {
     pub recovery: FaultRecovery,
     /// References simulated per core.
     pub refs_per_core: u64,
+    /// Per-stage latency histograms, aggregated across nodes and
+    /// devices. Empty (the [`Default`]) when tracing is disabled — the
+    /// tracer's zero-overhead-off contract is that a default run's
+    /// report differs from a pre-trace-layer run *only* by this empty
+    /// block.
+    pub latency: LatencyBreakdown,
 }
 
 impl RunReport {
@@ -265,6 +272,7 @@ mod tests {
             faults: 0,
             recovery: FaultRecovery::default(),
             refs_per_core: 10,
+            latency: LatencyBreakdown::default(),
         }
     }
 

@@ -3,7 +3,7 @@
 
 use fam_broker::{BrokerError, MemoryBroker};
 use fam_mem::{CacheHierarchy, DramModel};
-use fam_sim::{Cycle, SimRng, Window};
+use fam_sim::{Cycle, RequestId, SimRng, Window};
 use fam_vm::{NodeId, PageTable, PtFlags, PtwCache, TlbHierarchy, VirtAddr};
 use fam_workloads::RefStream;
 
@@ -36,6 +36,9 @@ pub const TRANSLATION_CACHE_BASE: u64 = 768 << 20;
 pub struct PendingRef {
     /// The reference to execute.
     pub mem: fam_workloads::MemRef,
+    /// Trace identity, threaded through every stage of the reference's
+    /// lifetime ([`RequestId::UNTRACED`] when tracing is off).
+    pub req: RequestId,
     /// Requested start (issue time, after any dependence wait).
     pub start_req: Cycle,
     /// Predicted true start (after outstanding-window admission).

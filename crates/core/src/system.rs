@@ -4,7 +4,10 @@ use fam_broker::{AccessKind, BrokerConfig, MemoryBroker};
 use fam_fabric::packet::{Packet, PacketKind};
 use fam_fabric::Fabric;
 use fam_mem::{MemOpKind, NvmModel};
-use fam_sim::{Cycle, Duration, FabricFault, FaultInjector, IndexedMinHeap};
+use fam_sim::{
+    Cycle, Duration, FabricFault, FaultInjector, IndexedMinHeap, RequestId, Stage, TraceEvent,
+    Tracer, Track, WindowSample,
+};
 use fam_stu::Stu;
 use fam_vm::{Pte, VirtAddr, PAGE_BYTES};
 use fam_workloads::{MemRef, RefStream, TraceGenerator, Workload};
@@ -58,6 +61,9 @@ pub struct System {
     /// Reusable wire-frame buffer for the fault injector's corruption
     /// path, so injected frames don't allocate a fresh `Vec` each.
     frame_scratch: Vec<u8>,
+    /// Request-lifecycle tracing; like the injector, a disabled tracer
+    /// costs one branch per event site and nothing else.
+    tracer: Tracer,
 }
 
 impl System {
@@ -167,6 +173,7 @@ impl System {
             injector: FaultInjector::new(config.fault_injection),
             recovery: FaultRecovery::default(),
             frame_scratch: Vec::with_capacity(fam_fabric::packet::PACKET_BYTES),
+            tracer: Tracer::new(config.trace, config.nodes),
             config,
         }
     }
@@ -184,6 +191,11 @@ impl System {
     /// The per-node STUs (empty for E-FAM).
     pub fn stus(&self) -> &[Stu] {
         &self.stus
+    }
+
+    /// The tracer (events, latency breakdowns, windowed time series).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// One-line summary of contention internals, for diagnostics.
@@ -309,6 +321,7 @@ impl System {
     /// Draws the next reference of core `c` and predicts its start.
     fn stage_ref(&mut self, n: usize, c: usize) {
         let issue_width = u64::from(self.config.issue_width);
+        let req = self.tracer.next_request();
         let core = &mut self.nodes[n].cores[c];
         let r = core.gen.next_ref();
         core.instructions += u64::from(r.gap_instrs) + 1;
@@ -319,6 +332,7 @@ impl System {
         }
         core.pending = Some(crate::node::PendingRef {
             mem: r,
+            req,
             start_req,
             ready: core.window.would_start(start_req),
         });
@@ -327,7 +341,7 @@ impl System {
     /// Simulates one staged reference of core `c` on node `n` end to
     /// end.
     fn sim_ref(&mut self, n: usize, c: usize) -> Result<(), SimError> {
-        let (r, t) = {
+        let (r, req, t) = {
             let core = &mut self.nodes[n].cores[c];
             let p = core
                 .pending
@@ -335,11 +349,23 @@ impl System {
                 .expect("sim_ref runs only on staged cores");
             let start = core.window.admit(p.start_req);
             core.issue_clock = start;
-            (p.mem, start)
+            (p.mem, p.req, start)
+        };
+        // Time-series snapshot: traffic/recovery counters before the
+        // reference, so their deltas can be attributed to its window.
+        let window_before = if self.tracer.wants_windows() {
+            Some((
+                self.traffic.at_total(),
+                self.traffic.total(),
+                self.recovery.retries,
+                self.recovery.recovered,
+            ))
+        } else {
+            None
         };
 
         // Node-level translation (TLB → node page-table walk).
-        let (pte, t) = self.translate(n, c, r.vaddr, t)?;
+        let (pte, t) = self.translate(n, c, r.vaddr, t, req)?;
         let phys_byte = pte.target_page * PAGE_BYTES + r.vaddr.offset();
         let line = phys_byte / 64;
 
@@ -361,7 +387,7 @@ impl System {
                             self.traffic.data_reads += 1;
                         }
                         let fam_byte = phys_byte - FAM_KEY_PAGE * PAGE_BYTES;
-                        self.fam_round_trip(n, completion, fam_byte, kind)
+                        self.fam_round_trip(n, completion, fam_byte, kind, req)
                     }
                     Scheme::IFam => self.ifam_fam_access(
                         n,
@@ -369,6 +395,7 @@ impl System {
                         pte.target_page,
                         r.vaddr.offset(),
                         kind,
+                        req,
                     )?,
                     Scheme::DeactW | Scheme::DeactN => self.deact_fam_access(
                         n,
@@ -376,6 +403,7 @@ impl System {
                         pte.target_page,
                         r.vaddr.offset(),
                         kind,
+                        req,
                     )?,
                 }
             } else if r.is_write {
@@ -393,6 +421,18 @@ impl System {
         core.last_mem_completion = completion;
         core.refs_done += 1;
         core.finish = core.finish.max(completion);
+        if let Some((at_before, total_before, retries_before, recovered_before)) = window_before {
+            self.tracer.sample(
+                completion,
+                WindowSample {
+                    instructions: u64::from(r.gap_instrs) + 1,
+                    fam_at: self.traffic.at_total() - at_before,
+                    fam_total: self.traffic.total() - total_before,
+                    retries: self.recovery.retries - retries_before,
+                    recovered: self.recovery.recovered - recovered_before,
+                },
+            );
+        }
         Ok(())
     }
 
@@ -404,10 +444,21 @@ impl System {
         c: usize,
         vaddr: VirtAddr,
         t: Cycle,
+        req: RequestId,
     ) -> Result<(Pte, Cycle), SimError> {
         let vpage = vaddr.vpage();
         let (_, tlb_latency, hit) = self.nodes[n].cores[c].tlb.lookup(vpage);
+        let start = t;
         let mut t = t + tlb_latency;
+        if self.tracer.is_enabled() {
+            self.tracer.record(TraceEvent {
+                req,
+                stage: Stage::TlbLookup,
+                track: Track::Node(n as u16),
+                start,
+                end: t,
+            });
+        }
         if let Some(pte) = hit {
             return Ok((pte, t));
         }
@@ -419,14 +470,33 @@ impl System {
             match plan.mapping {
                 None => {
                     // Node-level page fault: the OS installs a mapping.
+                    if self.tracer.is_enabled() {
+                        self.tracer.record(TraceEvent {
+                            req,
+                            stage: Stage::Fault,
+                            track: Track::Node(n as u16),
+                            start: t,
+                            end: t + self.fault_latency,
+                        });
+                    }
                     t += self.fault_latency;
                     let node = &mut self.nodes[n];
                     node.map_page(vaddr, &mut self.broker)
                         .map_err(|source| SimError::FamExhausted { node: n, source })?;
                 }
                 Some(pte) => {
+                    let walk_start = t;
                     for acc in &plan.accesses {
-                        t = self.pt_step_access(n, c, acc.entry_addr, t);
+                        t = self.pt_step_access(n, c, acc.entry_addr, t, req);
+                    }
+                    if self.tracer.is_enabled() && !plan.accesses.is_empty() {
+                        self.tracer.record(TraceEvent {
+                            req,
+                            stage: Stage::PtWalk,
+                            track: Track::Node(n as u16),
+                            start: walk_start,
+                            end: t,
+                        });
                     }
                     self.nodes[n].cores[c].tlb.fill(vpage, pte);
                     return Ok((pte, t));
@@ -437,7 +507,14 @@ impl System {
 
     /// One page-table entry read: probes the caches, then local DRAM
     /// or (E-FAM only) the FAM.
-    fn pt_step_access(&mut self, n: usize, c: usize, entry_addr: u64, t: Cycle) -> Cycle {
+    fn pt_step_access(
+        &mut self,
+        n: usize,
+        c: usize,
+        entry_addr: u64,
+        t: Cycle,
+        req: RequestId,
+    ) -> Cycle {
         let lookup = self.nodes[n].hierarchy.access(c, entry_addr / 64, false);
         let mut t = t + lookup.latency;
         if lookup.level.is_none() {
@@ -450,7 +527,7 @@ impl System {
                 );
                 self.traffic.at_pte_reads += 1;
                 let fam_byte = entry_addr - FAM_KEY_PAGE * PAGE_BYTES;
-                self.fam_round_trip(n, t, fam_byte, MemOpKind::Read)
+                self.fam_round_trip(n, t, fam_byte, MemOpKind::Read, req)
             } else {
                 self.nodes[n].dram.access(t, entry_addr)
             };
@@ -470,21 +547,37 @@ impl System {
     /// service, fabric back. Every FAM request in every scheme funnels
     /// through here, so this is where injected fabric faults strike
     /// and where the retry/timeout/backoff machine recovers from them.
-    fn fam_round_trip(&mut self, n: usize, t: Cycle, fam_byte: u64, kind: MemOpKind) -> Cycle {
+    fn fam_round_trip(
+        &mut self,
+        n: usize,
+        t: Cycle,
+        fam_byte: u64,
+        kind: MemOpKind,
+        req: RequestId,
+    ) -> Cycle {
         if !self.injector.is_enabled() {
-            return self.fam_round_trip_clean(n, t, fam_byte, kind);
+            return self.fam_round_trip_clean(n, t, fam_byte, kind, req);
         }
         let mut t = t;
-        let mut state = RetryState::new();
+        let mut state = RetryState::for_request(req);
         loop {
             // Scheduled link-down window: the requester sits at the
             // serializer until the link returns.
             let up = self.injector.link_up_at(t);
             self.recovery.link_down_wait_cycles += (up - t).0;
+            if self.tracer.is_enabled() && up > t {
+                self.tracer.record(TraceEvent {
+                    req,
+                    stage: Stage::Fault,
+                    track: Track::Fabric(n as u16),
+                    start: t,
+                    end: up,
+                });
+            }
             t = up;
             match self.injector.fabric_fault() {
                 None => {
-                    let done = self.fam_round_trip_clean(n, t, fam_byte, kind);
+                    let done = self.fam_round_trip_clean(n, t, fam_byte, kind, req);
                     if state.attempts() > 0 {
                         self.recovery.recovered += 1;
                     }
@@ -495,29 +588,49 @@ impl System {
                     // and vanished; the requester burns the timeout.
                     self.fabric.node_to_fam(t, n);
                     self.recovery.timeouts += 1;
-                    t += Duration(self.config.retry.timeout_cycles);
+                    let expiry = t + Duration(self.config.retry.timeout_cycles);
+                    if self.tracer.is_enabled() {
+                        self.tracer.record(TraceEvent {
+                            req,
+                            stage: Stage::Retry,
+                            track: Track::Fabric(n as u16),
+                            start: t,
+                            end: expiry,
+                        });
+                    }
+                    t = expiry;
                 }
                 Some(FabricFault::Corrupt) => {
                     // Corrupt the *real* wire frame and let the CRC
                     // catch it — detection is earned, not assumed. The
                     // FAM side answers with a corrupt-NACK, costing a
                     // full fabric round trip with no device service.
-                    self.fill_corrupted_frame(n, fam_byte, kind, state.attempts());
+                    self.fill_corrupted_frame(n, fam_byte, kind, req);
                     match Packet::decode(&self.frame_scratch) {
                         Err(_) => {
                             self.recovery.nacks_corrupt += 1;
                             let arrival = self.fabric.node_to_fam(t, n);
-                            t = self.fabric.fam_to_node(
+                            let back = self.fabric.fam_to_node(
                                 arrival,
                                 n,
                                 fam_fabric::packet::RESPONSE_BYTES as u64,
                             );
+                            if self.tracer.is_enabled() {
+                                self.tracer.record(TraceEvent {
+                                    req,
+                                    stage: Stage::Retry,
+                                    track: Track::Fabric(n as u16),
+                                    start: t,
+                                    end: back,
+                                });
+                            }
+                            t = back;
                         }
                         Ok(_) => {
                             // Unreachable with CRC-16 and a single-byte
                             // flip, but honesty demands the branch: an
                             // undetected corruption is a delivery.
-                            return self.fam_round_trip_clean(n, t, fam_byte, kind);
+                            return self.fam_round_trip_clean(n, t, fam_byte, kind, req);
                         }
                     }
                 }
@@ -526,6 +639,15 @@ impl System {
                 RetryOutcome::Retry { backoff } => {
                     self.recovery.retries += 1;
                     self.recovery.backoff_cycles += backoff.0;
+                    if self.tracer.is_enabled() {
+                        self.tracer.record(TraceEvent {
+                            req,
+                            stage: Stage::Backoff,
+                            track: Track::Fabric(n as u16),
+                            start: t,
+                            end: t + backoff,
+                        });
+                    }
                     t += backoff;
                 }
                 RetryOutcome::GiveUp => {
@@ -534,7 +656,7 @@ impl System {
                     // but still completes so the run finishes and the
                     // damage is measurable instead of a crash.
                     self.recovery.fatal += 1;
-                    return self.fam_round_trip_clean(n, t, fam_byte, kind);
+                    return self.fam_round_trip_clean(n, t, fam_byte, kind, req);
                 }
             }
         }
@@ -543,17 +665,17 @@ impl System {
     /// Encodes the request as its wire packet into the per-`System`
     /// scratch buffer and applies the injector's chosen corruption to
     /// it — no allocation per injected frame.
-    fn fill_corrupted_frame(&mut self, n: usize, fam_byte: u64, kind: MemOpKind, tag: u32) {
-        let packet = Packet {
-            kind: match kind {
+    fn fill_corrupted_frame(&mut self, n: usize, fam_byte: u64, kind: MemOpKind, req: RequestId) {
+        let packet = Packet::for_request(
+            match kind {
                 MemOpKind::Read => PacketKind::Read,
                 MemOpKind::Write => PacketKind::Write,
             },
-            source: self.nodes[n].id,
-            addr: fam_byte,
-            verified: true,
-            tag: tag as u16,
-        };
+            self.nodes[n].id,
+            fam_byte,
+            true,
+            req,
+        );
         packet.encode_into(&mut self.frame_scratch);
         let (pos, mask) = self.injector.corruption_site(self.frame_scratch.len());
         self.frame_scratch[pos] ^= mask;
@@ -567,17 +689,48 @@ impl System {
         t: Cycle,
         fam_byte: u64,
         kind: MemOpKind,
+        req: RequestId,
     ) -> Cycle {
         let module = self.module_of(fam_byte);
         let arrival = self.fabric.node_to_fam(t, n);
         let done = self.nvm[module].access(arrival, fam_byte, kind);
-        self.fabric.fam_to_node(done, n, 64)
+        let ret = self.fabric.fam_to_node(done, n, 64);
+        if self.tracer.is_enabled() {
+            self.tracer.record(TraceEvent {
+                req,
+                stage: Stage::FabricSend,
+                track: Track::Fabric(n as u16),
+                start: t,
+                end: arrival,
+            });
+            self.tracer.record(TraceEvent {
+                req,
+                stage: Stage::NvmAccess,
+                track: Track::Nvm(module as u16),
+                start: arrival,
+                end: done,
+            });
+            self.tracer.record(TraceEvent {
+                req,
+                stage: Stage::FabricRecv,
+                track: Track::Fabric(n as u16),
+                start: done,
+                end: ret,
+            });
+        }
+        ret
     }
 
     /// Walks the system page table at the STU, serialized on the
     /// node's single FAM-PTW unit; every entry read is a FAM round
     /// trip counted as AT traffic.
-    fn stu_walk(&mut self, n: usize, t: Cycle, npa_page: u64) -> Result<(u64, Cycle), SimError> {
+    fn stu_walk(
+        &mut self,
+        n: usize,
+        t: Cycle,
+        npa_page: u64,
+        req: RequestId,
+    ) -> Result<(u64, Cycle), SimError> {
         let node_id = self.nodes[n].id;
         let mut t = t;
         // Injected STU stall: the unit is briefly unresponsive (queue
@@ -585,17 +738,35 @@ impl System {
         if self.injector.is_enabled() {
             if let Some(stall) = self.injector.stu_stall() {
                 self.recovery.stu_stall_cycles += stall.0;
+                if self.tracer.is_enabled() {
+                    self.tracer.record(TraceEvent {
+                        req,
+                        stage: Stage::Fault,
+                        track: Track::Stu(n as u16),
+                        start: t,
+                        end: t + stall,
+                    });
+                }
                 t += stall;
             }
         }
         loop {
-            match self.stus[n].walk_system_table(&self.broker, node_id, npa_page) {
+            match self.stus[n].walk_system_table(&self.broker, node_id, npa_page, req) {
                 Ok((fam_page, plan)) => {
                     let start = t.max(self.walker_free[n]);
                     let mut tw = start;
                     for acc in &plan.accesses {
                         self.traffic.at_walk_reads += 1;
-                        tw = self.fam_round_trip(n, tw, acc.entry_addr, MemOpKind::Read);
+                        tw = self.fam_round_trip(n, tw, acc.entry_addr, MemOpKind::Read, req);
+                    }
+                    if self.tracer.is_enabled() && tw > start {
+                        self.tracer.record(TraceEvent {
+                            req,
+                            stage: Stage::StuWalk,
+                            track: Track::Stu(n as u16),
+                            start,
+                            end: tw,
+                        });
                     }
                     self.walker_free[n] = tw;
                     return Ok((fam_page, tw));
@@ -603,6 +774,15 @@ impl System {
                 Err(_) => {
                     // System-level fault: the STU asks the broker for
                     // a page (§II-C) and retries.
+                    if self.tracer.is_enabled() {
+                        self.tracer.record(TraceEvent {
+                            req,
+                            stage: Stage::Fault,
+                            track: Track::Stu(n as u16),
+                            start: t,
+                            end: t + self.fault_latency,
+                        });
+                    }
                     t += self.fault_latency;
                     self.nodes[n]
                         .system_fault(npa_page, &mut self.broker)
@@ -621,17 +801,28 @@ impl System {
         npa_page: u64,
         offset: u64,
         kind: MemOpKind,
+        req: RequestId,
     ) -> Result<Cycle, SimError> {
         let node_id = self.nodes[n].id;
         let acc_kind = access_kind(kind);
-        let mut t = t + self.router + self.stu_lookup; // node → STU lookup
+        let lookup_done = t + self.router + self.stu_lookup; // node → STU lookup
+        if self.tracer.is_enabled() {
+            self.tracer.record(TraceEvent {
+                req,
+                stage: Stage::StuLookup,
+                track: Track::Stu(n as u16),
+                start: t,
+                end: lookup_done,
+            });
+        }
+        let mut t = lookup_done;
         let fam_page = match self.stus[n].cache_mut().ifam_lookup(npa_page) {
             Some(fam_page) => fam_page,
             None => {
                 // Coupled-entry miss: walk serialized at the FAM-PTW
                 // (`stu_walk` handles system faults internally), then
                 // fill the coupled entry.
-                let (fam_page, tw) = self.stu_walk(n, t, npa_page)?;
+                let (fam_page, tw) = self.stu_walk(n, t, npa_page, req)?;
                 t = tw;
                 self.stus[n].cache_mut().ifam_fill(npa_page, fam_page);
                 fam_page
@@ -645,7 +836,7 @@ impl System {
             MemOpKind::Read => self.traffic.data_reads += 1,
             MemOpKind::Write => self.traffic.data_writes += 1,
         }
-        let done = self.fam_round_trip(n, t, fam_page * PAGE_BYTES + offset, kind);
+        let done = self.fam_round_trip(n, t, fam_page * PAGE_BYTES + offset, kind, req);
         Ok(done + self.router) // response back through the router
     }
 
@@ -658,17 +849,28 @@ impl System {
         npa_page: u64,
         offset: u64,
         kind: MemOpKind,
+        req: RequestId,
     ) -> Result<Cycle, SimError> {
         let node_id = self.nodes[n].id;
         let acc_kind = access_kind(kind);
 
         // ① FAM translator: one DRAM set read + parallel tag match.
+        let t_in = t;
         let set_addr = self.nodes[n]
             .translator
             .as_ref()
             .expect("DeACT nodes have a translator")
             .dram_addr_of(npa_page);
         let mut t = self.nodes[n].dram.access(t, set_addr) + Duration(1);
+        if self.tracer.is_enabled() {
+            self.tracer.record(TraceEvent {
+                req,
+                stage: Stage::TranslationCache,
+                track: Track::Node(n as u16),
+                start: t_in,
+                end: t,
+            });
+        }
 
         let mut cached = self.nodes[n]
             .translator
@@ -691,6 +893,15 @@ impl System {
         if cached.is_some() && self.injector.is_enabled() && self.injector.stale_translation() {
             // The doomed pre-translated request travels node → STU and
             // the NACK travels back before the node can react.
+            if self.tracer.is_enabled() {
+                self.tracer.record(TraceEvent {
+                    req,
+                    stage: Stage::Fault,
+                    track: Track::Stu(n as u16),
+                    start: t,
+                    end: t + self.router + self.stu_lookup + self.router,
+                });
+            }
             t += self.router + self.stu_lookup + self.router;
             self.recovery.nacks_stale += 1;
             self.nodes[n]
@@ -712,7 +923,7 @@ impl System {
             None => {
                 // ④ V = 0: the STU walks on our behalf...
                 t += self.router;
-                let (fam_page, tw) = self.stu_walk(n, t, npa_page)?;
+                let (fam_page, tw) = self.stu_walk(n, t, npa_page, req)?;
                 t = tw;
                 if stale_nacked {
                     // The reissue-as-unverified walk *is* the retry, and
@@ -742,14 +953,33 @@ impl System {
         // encrypted-memory extension, reads skip verification entirely
         // (a foreign node's ciphertext is useless without its key).
         if !(self.config.skip_read_checks && kind == MemOpKind::Read) {
-            let v = self.stus[n].verify(&self.broker, node_id, fam_page, acc_kind);
+            let v = self.stus[n].verify(&self.broker, node_id, fam_page, acc_kind, req);
+            if self.tracer.is_enabled() {
+                self.tracer.record(TraceEvent {
+                    req,
+                    stage: Stage::StuLookup,
+                    track: Track::Stu(n as u16),
+                    start: t,
+                    end: t + self.stu_lookup,
+                });
+            }
             t += self.stu_lookup;
             if let Some(acm_addr) = v.acm_fetch_addr {
+                let fetch_start = t;
                 self.traffic.at_acm_reads += 1;
-                t = self.fam_round_trip(n, t, acm_addr, MemOpKind::Read);
+                t = self.fam_round_trip(n, t, acm_addr, MemOpKind::Read, req);
                 if let Some(bitmap_addr) = v.bitmap_fetch_addr {
                     self.traffic.at_bitmap_reads += 1;
-                    t = self.fam_round_trip(n, t, bitmap_addr, MemOpKind::Read);
+                    t = self.fam_round_trip(n, t, bitmap_addr, MemOpKind::Read, req);
+                }
+                if self.tracer.is_enabled() {
+                    self.tracer.record(TraceEvent {
+                        req,
+                        stage: Stage::AcmFetch,
+                        track: Track::Stu(n as u16),
+                        start: fetch_start,
+                        end: t,
+                    });
                 }
             }
             assert!(v.allowed, "benign workloads never trip access control");
@@ -759,7 +989,7 @@ impl System {
             MemOpKind::Read => self.traffic.data_reads += 1,
             MemOpKind::Write => self.traffic.data_writes += 1,
         }
-        let done = self.fam_round_trip(n, t, fam_page * PAGE_BYTES + offset, kind);
+        let done = self.fam_round_trip(n, t, fam_page * PAGE_BYTES + offset, kind, req);
 
         if kind == MemOpKind::Read {
             let tr = self.nodes[n].translator.as_mut().expect("checked above");
@@ -857,6 +1087,7 @@ impl System {
             faults: self.nodes.iter().map(|n| n.faults).sum(),
             recovery: self.recovery_report(),
             refs_per_core: self.config.refs_per_core,
+            latency: self.tracer.breakdown(),
         }
     }
 

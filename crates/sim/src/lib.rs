@@ -26,6 +26,10 @@
 //! * [`FaultInjector`] — deterministic, seed-driven fault injection
 //!   (packet drop/corruption, link-down windows, STU stalls, stale
 //!   translations) that is a zero-cost no-op when disabled.
+//! * [`trace`] — request-lifecycle tracing: typed [`TraceEvent`]s in a
+//!   bounded ring buffer with drop accounting, per-stage latency
+//!   histograms, a Chrome trace-event exporter and a windowed time
+//!   series; like the fault injector, a zero-cost no-op when disabled.
 //!
 //! # Examples
 //!
@@ -52,6 +56,7 @@ mod queue;
 mod resource;
 mod rng;
 pub mod stats;
+pub mod trace;
 mod window;
 
 pub use clock::{Cycle, Duration, Frequency};
@@ -61,4 +66,8 @@ pub use pool::{default_jobs, scoped_map, ThreadPool};
 pub use queue::IndexedMinHeap;
 pub use resource::{BankedResource, Resource};
 pub use rng::SimRng;
+pub use trace::{
+    LatencyBreakdown, RequestId, Stage, TraceConfig, TraceEvent, Tracer, Track, WindowSample,
+    WindowSeries,
+};
 pub use window::Window;

@@ -164,7 +164,7 @@ impl fmt::Display for Ratio {
 /// assert_eq!(h.max(), 100);
 /// assert!((h.mean() - 67.0).abs() < 0.5);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>, // bucket i counts samples in [2^(i-1), 2^i), bucket 0 = {0}
     count: u64,
@@ -222,6 +222,12 @@ impl Histogram {
 
     /// An approximate quantile (`q` in `[0,1]`) from the bucket
     /// boundaries; exact enough for reporting tail latencies.
+    ///
+    /// Returns the *upper* bound of the bucket holding the target
+    /// sample (clamped to the observed maximum), so tails are never
+    /// underestimated: a quantile is a value at least `q` of the
+    /// samples sit at or below, and only the upper bound guarantees
+    /// that for every sample in the bucket.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -231,10 +237,48 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target.max(1) {
-                return if i == 0 { 0 } else { 1u64 << (i - 1) };
+                // Bucket i covers [2^(i-1), 2^i); its inclusive upper
+                // bound is 2^i - 1 (bucket 0 holds only zero). The
+                // last bucket's nominal bound overflows u64, but the
+                // max clamp keeps the result meaningful there too.
+                let upper = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                return upper.min(self.max);
             }
         }
         self.max
+    }
+
+    /// Merges another histogram into this one, bucket by bucket —
+    /// the aggregation step that folds per-core and per-node stage
+    /// histograms into a run-level latency breakdown.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fam_sim::stats::Histogram;
+    ///
+    /// let mut a = Histogram::new();
+    /// a.record(4);
+    /// let mut b = Histogram::new();
+    /// b.record(100);
+    /// a.merge(&b);
+    /// assert_eq!(a.count(), 2);
+    /// assert_eq!(a.sum(), 104);
+    /// assert_eq!(a.max(), 100);
+    /// ```
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 
     /// Resets all buckets.
@@ -343,6 +387,51 @@ mod tests {
         let p99 = h.quantile(0.99);
         assert!(p50 <= p99);
         assert!(p99 <= h.max());
+    }
+
+    #[test]
+    fn histogram_quantile_is_bucket_upper_bound() {
+        let mut h = Histogram::new();
+        // 100 samples of 1000: every quantile lands in the bucket
+        // [512, 1024), whose inclusive upper bound is 1023 — the old
+        // lower-bound answer of 512 underestimated every sample.
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        assert_eq!(h.quantile(0.5), 1000, "clamped to the observed max");
+        let mut h = Histogram::new();
+        h.record(600);
+        h.record(2000);
+        assert_eq!(h.quantile(0.5), 1023, "upper bound of [512, 1024)");
+        assert!(h.quantile(0.5) >= 600, "never below the covered sample");
+        assert_eq!(h.quantile(1.0), 2000);
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.25), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX, "top bucket clamps, not wraps");
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = Histogram::new();
+        for v in [0, 3, 700] {
+            a.record(v);
+        }
+        let mut b = Histogram::new();
+        for v in [5, 5000] {
+            b.record(v);
+        }
+        let mut whole = Histogram::new();
+        for v in [0, 3, 700, 5, 5000] {
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merge equals recording everything in one");
+        let empty = Histogram::new();
+        let before = a.clone();
+        a.merge(&empty);
+        assert_eq!(a, before, "merging an empty histogram is a no-op");
     }
 
     #[test]

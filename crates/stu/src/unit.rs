@@ -2,6 +2,7 @@
 
 use fam_broker::{AccessKind, MemoryBroker};
 use fam_sim::stats::Counter;
+use fam_sim::RequestId;
 use fam_vm::{NodeId, PageWalker, PtwCache, WalkPlan};
 
 use crate::{StuCache, StuConfig};
@@ -26,6 +27,10 @@ pub struct StuStats {
 /// Outcome of an I-FAM STU access: coupled translation + verification.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IFamTranslation {
+    /// The request whose packet this access served (echoed back so the
+    /// caller can attribute the walk/fetch costs to the right trace
+    /// span).
+    pub req: RequestId,
     /// The FAM page backing the node page.
     pub fam_page: u64,
     /// Whether the STU cache held the entry.
@@ -40,6 +45,8 @@ pub struct IFamTranslation {
 /// Outcome of a DeACT verification (the `V = 1` fast path).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeactVerification {
+    /// The request whose packet this verification served.
+    pub req: RequestId,
     /// Whether the ACM was resident in the STU cache.
     pub acm_hit: bool,
     /// FAM byte address of the metadata block fetched on a miss
@@ -57,6 +64,8 @@ pub struct DeactVerification {
 /// (§II-C: an address-translation-service request to the broker).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UnmappedFault {
+    /// The request whose packet hit the hole.
+    pub req: RequestId,
     /// The faulting node-physical page.
     pub npa_page: u64,
     /// The walk performed before discovering the hole (still costs
@@ -84,6 +93,7 @@ impl std::error::Error for UnmappedFault {}
 ///
 /// ```
 /// use fam_broker::{AccessKind, BrokerConfig, MemoryBroker};
+/// use fam_sim::RequestId;
 /// use fam_stu::{Stu, StuConfig, StuOrganization};
 ///
 /// let mut broker = MemoryBroker::new(BrokerConfig::default());
@@ -94,7 +104,7 @@ impl std::error::Error for UnmappedFault {}
 ///     organization: StuOrganization::DeactN,
 ///     ..StuConfig::default()
 /// });
-/// let v = stu.verify(&broker, node, fam_page, AccessKind::Read);
+/// let v = stu.verify(&broker, node, fam_page, AccessKind::Read, RequestId::UNTRACED);
 /// assert!(v.allowed);
 /// assert!(!v.acm_hit); // first touch fetches the metadata block
 /// ```
@@ -171,6 +181,7 @@ impl Stu {
         node: NodeId,
         npa_page: u64,
         kind: AccessKind,
+        req: RequestId,
     ) -> Result<IFamTranslation, UnmappedFault> {
         self.stats.verifications.inc();
         if let Some(fam_page) = self.cache.ifam_lookup(npa_page) {
@@ -179,19 +190,21 @@ impl Stu {
                 self.stats.denials.inc();
             }
             return Ok(IFamTranslation {
+                req,
                 fam_page,
                 cache_hit: true,
                 walk: None,
                 allowed,
             });
         }
-        let (fam_page, walk) = self.walk_system_table(broker, node, npa_page)?;
+        let (fam_page, walk) = self.walk_system_table(broker, node, npa_page, req)?;
         self.cache.ifam_fill(npa_page, fam_page);
         let allowed = broker.check_access(node, fam_page, kind);
         if !allowed {
             self.stats.denials.inc();
         }
         Ok(IFamTranslation {
+            req,
             fam_page,
             cache_hit: false,
             walk: Some(walk),
@@ -213,6 +226,7 @@ impl Stu {
         node: NodeId,
         fam_page: u64,
         kind: AccessKind,
+        req: RequestId,
     ) -> DeactVerification {
         self.stats.verifications.inc();
         let layout = broker.layout();
@@ -236,6 +250,7 @@ impl Stu {
             self.stats.denials.inc();
         }
         DeactVerification {
+            req,
             acm_hit,
             acm_fetch_addr,
             bitmap_fetch_addr,
@@ -258,6 +273,7 @@ impl Stu {
         broker: &MemoryBroker,
         node: NodeId,
         npa_page: u64,
+        req: RequestId,
     ) -> Result<(u64, WalkPlan), UnmappedFault> {
         let table = broker
             .system_table(node)
@@ -268,6 +284,7 @@ impl Stu {
         match plan.mapping {
             Some(pte) => Ok((pte.target_page, plan)),
             None => Err(UnmappedFault {
+                req,
                 npa_page,
                 walk_reads: plan.reads(),
             }),
@@ -310,6 +327,8 @@ mod tests {
     use fam_broker::BrokerConfig;
     use fam_vm::PtFlags;
 
+    const REQ: RequestId = RequestId::UNTRACED;
+
     fn setup(org: StuOrganization) -> (MemoryBroker, NodeId, Stu) {
         let mut broker = MemoryBroker::new(BrokerConfig {
             fam_bytes: 2 << 30,
@@ -328,7 +347,7 @@ mod tests {
         let (mut broker, node, mut stu) = setup(StuOrganization::IFam);
         let fam_page = broker.demand_map(node, 0x50).unwrap();
         let t = stu
-            .ifam_access(&broker, node, 0x50, AccessKind::Read)
+            .ifam_access(&broker, node, 0x50, AccessKind::Read, REQ)
             .unwrap();
         assert_eq!(t.fam_page, fam_page);
         assert!(!t.cache_hit);
@@ -336,7 +355,7 @@ mod tests {
         assert!(t.allowed);
 
         let t2 = stu
-            .ifam_access(&broker, node, 0x50, AccessKind::Read)
+            .ifam_access(&broker, node, 0x50, AccessKind::Read, REQ)
             .unwrap();
         assert!(t2.cache_hit);
         assert!(t2.walk.is_none());
@@ -348,7 +367,7 @@ mod tests {
     fn ifam_unmapped_faults_to_broker() {
         let (broker, node, mut stu) = setup(StuOrganization::IFam);
         let err = stu
-            .ifam_access(&broker, node, 0x99, AccessKind::Read)
+            .ifam_access(&broker, node, 0x99, AccessKind::Read, REQ)
             .unwrap_err();
         assert_eq!(err.npa_page, 0x99);
         assert!(err.walk_reads >= 1);
@@ -364,7 +383,7 @@ mod tests {
         // page: the walk uses *the intruder's* table, which has no such
         // mapping -> fault, not leak.
         assert!(stu
-            .ifam_access(&broker, intruder, 0x10, AccessKind::Read)
+            .ifam_access(&broker, intruder, 0x10, AccessKind::Read, REQ)
             .is_err());
     }
 
@@ -372,7 +391,7 @@ mod tests {
     fn deact_verify_fetches_metadata_once() {
         let (mut broker, node, mut stu) = setup(StuOrganization::DeactN);
         let fam_page = broker.demand_map(node, 0x10).unwrap();
-        let v1 = stu.verify(&broker, node, fam_page, AccessKind::Read);
+        let v1 = stu.verify(&broker, node, fam_page, AccessKind::Read, REQ);
         assert!(v1.allowed);
         assert!(!v1.acm_hit);
         let expected = broker
@@ -381,7 +400,7 @@ mod tests {
         assert_eq!(v1.acm_fetch_addr, Some(expected));
         assert_eq!(v1.bitmap_fetch_addr, None, "owned page needs no bitmap");
 
-        let v2 = stu.verify(&broker, node, fam_page, AccessKind::Read);
+        let v2 = stu.verify(&broker, node, fam_page, AccessKind::Read, REQ);
         assert!(v2.acm_hit);
         assert_eq!(v2.acm_fetch_addr, None);
         assert_eq!(stu.stats().acm_fetches.value(), 1);
@@ -392,7 +411,7 @@ mod tests {
         let (mut broker, node, mut stu) = setup(StuOrganization::DeactN);
         let intruder = broker.register_node().unwrap();
         let fam_page = broker.demand_map(node, 0x10).unwrap();
-        let v = stu.verify(&broker, intruder, fam_page, AccessKind::Read);
+        let v = stu.verify(&broker, intruder, fam_page, AccessKind::Read, REQ);
         assert!(!v.allowed, "decoupling must not bypass access control");
         assert_eq!(stu.stats().denials.value(), 1);
     }
@@ -402,11 +421,11 @@ mod tests {
         let (mut broker, node, mut stu) = setup(StuOrganization::DeactN);
         let fam_page = broker.demand_map(node, 0x10).unwrap();
         assert!(
-            stu.verify(&broker, node, fam_page, AccessKind::Write)
+            stu.verify(&broker, node, fam_page, AccessKind::Write, REQ)
                 .allowed
         );
         assert!(
-            !stu.verify(&broker, node, fam_page, AccessKind::Execute)
+            !stu.verify(&broker, node, fam_page, AccessKind::Execute, REQ)
                 .allowed,
             "demand-mapped pages are RW, not X"
         );
@@ -418,12 +437,12 @@ mod tests {
         let seg = broker
             .share_segment(4, &[(node, PtFlags::rw(), 0x200)])
             .unwrap();
-        let v = stu.verify(&broker, node, seg.first_page, AccessKind::Write);
+        let v = stu.verify(&broker, node, seg.first_page, AccessKind::Write, REQ);
         assert!(v.allowed);
         assert!(v.bitmap_fetch_addr.is_some());
         assert_eq!(stu.stats().bitmap_fetches.value(), 1);
         // Once cached, no more fetches.
-        let v2 = stu.verify(&broker, node, seg.first_page, AccessKind::Write);
+        let v2 = stu.verify(&broker, node, seg.first_page, AccessKind::Write, REQ);
         assert!(v2.acm_hit);
         assert_eq!(v2.bitmap_fetch_addr, None);
     }
@@ -433,10 +452,10 @@ mod tests {
         let (mut broker, node, mut stu) = setup(StuOrganization::DeactN);
         broker.demand_map(node, 0x40).unwrap();
         broker.demand_map(node, 0x41).unwrap();
-        let (_, plan1) = stu.walk_system_table(&broker, node, 0x40).unwrap();
+        let (_, plan1) = stu.walk_system_table(&broker, node, 0x40, REQ).unwrap();
         assert_eq!(plan1.reads(), 4);
         // Neighbouring page: interior levels are PTW-cached.
-        let (_, plan2) = stu.walk_system_table(&broker, node, 0x41).unwrap();
+        let (_, plan2) = stu.walk_system_table(&broker, node, 0x41, REQ).unwrap();
         assert_eq!(plan2.reads(), 1);
     }
 
@@ -444,9 +463,9 @@ mod tests {
     fn invalidate_forces_refetch() {
         let (mut broker, node, mut stu) = setup(StuOrganization::DeactN);
         let fam_page = broker.demand_map(node, 0x10).unwrap();
-        stu.verify(&broker, node, fam_page, AccessKind::Read);
+        stu.verify(&broker, node, fam_page, AccessKind::Read, REQ);
         stu.invalidate_page(fam_page);
-        let v = stu.verify(&broker, node, fam_page, AccessKind::Read);
+        let v = stu.verify(&broker, node, fam_page, AccessKind::Read, REQ);
         assert!(!v.acm_hit);
     }
 
@@ -454,9 +473,9 @@ mod tests {
     fn flush_clears_ptw_cache_too() {
         let (mut broker, node, mut stu) = setup(StuOrganization::DeactN);
         broker.demand_map(node, 0x40).unwrap();
-        stu.walk_system_table(&broker, node, 0x40).unwrap();
+        stu.walk_system_table(&broker, node, 0x40, REQ).unwrap();
         stu.flush();
-        let (_, plan) = stu.walk_system_table(&broker, node, 0x40).unwrap();
+        let (_, plan) = stu.walk_system_table(&broker, node, 0x40, REQ).unwrap();
         assert_eq!(plan.reads(), 4, "cold walk after flush");
     }
 }

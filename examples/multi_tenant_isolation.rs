@@ -14,6 +14,7 @@
 
 use fam_broker::{AccessKind, BrokerConfig, MemoryBroker};
 use fam_fabric::packet::{Packet, PacketKind};
+use fam_sim::RequestId;
 use fam_stu::{Stu, StuConfig, StuOrganization};
 use fam_vm::PtFlags;
 
@@ -49,7 +50,13 @@ fn main() {
         organization: StuOrganization::DeactN,
         ..StuConfig::default()
     });
-    let verdict = stu_b.verify(&broker, at_stu.source, at_stu.addr / 4096, AccessKind::Read);
+    let verdict = stu_b.verify(
+        &broker,
+        at_stu.source,
+        at_stu.addr / 4096,
+        AccessKind::Read,
+        RequestId::UNTRACED,
+    );
     println!(
         "  STU verdict: {} (ACM fetched from {:#x})",
         if verdict.allowed {
@@ -101,7 +108,7 @@ fn main() {
         } else {
             &mut stu_c
         };
-        let v = stu.verify(&broker, who, page, kind);
+        let v = stu.verify(&broker, who, page, kind, RequestId::UNTRACED);
         println!(
             "  {what:9} -> {}",
             if v.allowed { "allowed" } else { "denied" }

@@ -3,6 +3,7 @@
 
 use fam_broker::{AccessKind, AcmWidth, BrokerConfig, JobId, MemoryBroker};
 use fam_fabric::packet::{Packet, PacketKind};
+use fam_sim::RequestId;
 use fam_stu::{Stu, StuConfig, StuOrganization};
 use fam_vm::{NodeId, PtFlags};
 
@@ -30,13 +31,22 @@ fn forged_pretranslated_requests_are_denied_for_every_organisation() {
     for org in [StuOrganization::DeactW, StuOrganization::DeactN] {
         let mut s = stu(org);
         for kind in [AccessKind::Read, AccessKind::Write, AccessKind::Execute] {
-            let v = s.verify(&b, attacker, page, kind);
+            let v = s.verify(&b, attacker, page, kind, RequestId::UNTRACED);
             assert!(!v.allowed, "{org:?}/{kind:?} leaked");
         }
         // The rightful owner still gets through (RW, not X).
-        assert!(s.verify(&b, victim, page, AccessKind::Read).allowed);
-        assert!(s.verify(&b, victim, page, AccessKind::Write).allowed);
-        assert!(!s.verify(&b, victim, page, AccessKind::Execute).allowed);
+        assert!(
+            s.verify(&b, victim, page, AccessKind::Read, RequestId::UNTRACED)
+                .allowed
+        );
+        assert!(
+            s.verify(&b, victim, page, AccessKind::Write, RequestId::UNTRACED)
+                .allowed
+        );
+        assert!(
+            !s.verify(&b, victim, page, AccessKind::Execute, RequestId::UNTRACED)
+                .allowed
+        );
     }
 }
 
@@ -50,7 +60,9 @@ fn ifam_attacker_cannot_reach_foreign_mappings() {
     // The attacker's own system table has no mapping for that node
     // page, so the walk faults instead of leaking the victim's page.
     let mut s = stu(StuOrganization::IFam);
-    assert!(s.ifam_access(&b, attacker, 0x10, AccessKind::Read).is_err());
+    assert!(s
+        .ifam_access(&b, attacker, 0x10, AccessKind::Read, RequestId::UNTRACED)
+        .is_err());
 }
 
 #[test]
@@ -61,7 +73,10 @@ fn stale_stu_cache_cannot_outlive_migration_if_invalidated() {
     let page = b.demand_map(old, 0x20).unwrap();
 
     let mut s = stu(StuOrganization::DeactN);
-    assert!(s.verify(&b, old, page, AccessKind::Read).allowed);
+    assert!(
+        s.verify(&b, old, page, AccessKind::Read, RequestId::UNTRACED)
+            .allowed
+    );
 
     let report = b.migrate_node(old, new).unwrap();
     assert_eq!(report.pages_moved, 1);
@@ -69,8 +84,14 @@ fn stale_stu_cache_cannot_outlive_migration_if_invalidated() {
 
     // Ground truth moved; a re-verify (with cold cache) denies the old
     // node and allows the new one.
-    assert!(!s.verify(&b, old, page, AccessKind::Read).allowed);
-    assert!(s.verify(&b, new, page, AccessKind::Read).allowed);
+    assert!(
+        !s.verify(&b, old, page, AccessKind::Read, RequestId::UNTRACED)
+            .allowed
+    );
+    assert!(
+        s.verify(&b, new, page, AccessKind::Read, RequestId::UNTRACED)
+            .allowed
+    );
 }
 
 #[test]
@@ -134,8 +155,14 @@ fn revocation_takes_effect_for_later_verifications() {
     b.revoke_shared(seg.region, member);
     let mut s = stu(StuOrganization::DeactN);
     assert!(
-        !s.verify(&b, member, seg.first_page, AccessKind::Read)
-            .allowed
+        !s.verify(
+            &b,
+            member,
+            seg.first_page,
+            AccessKind::Read,
+            RequestId::UNTRACED
+        )
+        .allowed
     );
 }
 
