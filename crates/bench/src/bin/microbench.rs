@@ -14,7 +14,16 @@
 //! throughput in references per second.
 //!
 //! Results print as a table and are also written to `BENCH_sim.json`
-//! (schema `deact-microbench-v1`) so CI can archive them.
+//! (schema `deact-microbench-v1`) so CI can archive them; `--out
+//! <path>` redirects the JSON (the default path is unchanged so
+//! existing invocations keep working). CI diffs the JSON against the
+//! committed `BENCH_baseline.json` and fails on a >15% throughput
+//! regression.
+//!
+//! The suite also times the intra-run parallel engine
+//! ([`deact::System::try_run_parallel`]) on a 16-node system at
+//! 1/2/4 threads — the `parallel_per_ref/*` entries and the derived
+//! speedup land in the JSON for the CI artifact.
 //!
 //! The end-to-end runs honour `DEACT_TRACE` (`off` (default) |
 //! `breakdown` | `full`), which is how the tracer's own overhead is
@@ -118,6 +127,53 @@ fn bench_scheduler_scaling(records: &mut Vec<Record>) {
     }
 }
 
+/// Parallel-engine scaling: wall-clock ns per reference of one
+/// 16-node run under [`deact::System::try_run_parallel`] at 1, 2 and
+/// 4 threads (1 = the sequential engine, the denominator of the
+/// speedup). Reports are bit-identical across the sweep, so this
+/// measures pure wall-clock, not behaviour.
+fn bench_parallel_scaling(records: &mut Vec<Record>) -> f64 {
+    let cfg = SystemConfig::paper_default()
+        .with_scheme(Scheme::DeactN)
+        .with_nodes(16)
+        .with_fam_modules(16)
+        .with_refs_per_core(SCHED_REFS)
+        .with_seed(0xBE9C)
+        .with_trace(fam_bench::trace_from_env(fam_sim::TraceConfig::disabled()));
+    let w = Workload::by_name("sssp").expect("table3 benchmark");
+    let total_refs = cfg.refs_per_core * (cfg.nodes * cfg.cores_per_node) as u64;
+    let mut sequential_ns = f64::NAN;
+    let mut speedup_4t = f64::NAN;
+    for threads in [1usize, 2, 4] {
+        let samples: Vec<f64> = (0..SCHED_REPS)
+            .map(|_| {
+                let start = Instant::now();
+                let report = deact::System::new(cfg, &w).run_parallel(threads);
+                let elapsed = start.elapsed().as_nanos() as f64;
+                black_box(report.cycles);
+                elapsed / total_refs as f64
+            })
+            .collect();
+        let ns = median(samples);
+        let label = format!("parallel_per_ref/16_nodes_{threads}t");
+        if threads == 1 {
+            sequential_ns = ns;
+            println!("{label:28} {ns:>8.1} ns/op");
+        } else {
+            let speedup = sequential_ns / ns;
+            if threads == 4 {
+                speedup_4t = speedup;
+            }
+            println!("{label:28} {ns:>8.1} ns/op  ({speedup:.2}x)");
+        }
+        records.push(Record {
+            label,
+            ns_per_op: ns,
+        });
+    }
+    speedup_4t
+}
+
 /// Whole-system throughput: simulated references per wall-clock second
 /// on the paper-default single-node configuration.
 fn bench_throughput() -> Throughput {
@@ -140,10 +196,15 @@ fn bench_throughput() -> Throughput {
     }
 }
 
-/// Serialises the results as `BENCH_sim.json`. Hand-rolled writer: the
-/// workspace is dependency-free, and the labels are plain ASCII with
-/// nothing to escape.
-fn write_json(records: &[Record], throughput: &Throughput) -> std::io::Result<()> {
+/// Serialises the results to `path` (default `BENCH_sim.json`).
+/// Hand-rolled writer: the workspace is dependency-free, and the
+/// labels are plain ASCII with nothing to escape.
+fn write_json(
+    path: &str,
+    records: &[Record],
+    throughput: &Throughput,
+    parallel_speedup_4t: f64,
+) -> std::io::Result<()> {
     use std::io::Write;
     let mut out = String::from("{\n  \"schema\": \"deact-microbench-v1\",\n");
     out.push_str(&format!("  \"iters\": {ITERS},\n  \"reps\": {REPS},\n"));
@@ -157,15 +218,31 @@ fn write_json(records: &[Record], throughput: &Throughput) -> std::io::Result<()
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
+        "  \"parallel_speedup_4t\": {parallel_speedup_4t:.3},\n"
+    ));
+    out.push_str(&format!(
         "  \"throughput\": {{\"benchmark\": \"sssp\", \"total_refs\": {}, \
          \"elapsed_ns\": {}, \"refs_per_sec\": {:.1}}}\n}}\n",
         throughput.total_refs, throughput.elapsed_ns, throughput.refs_per_sec
     ));
-    let mut f = std::fs::File::create("BENCH_sim.json")?;
+    let mut f = std::fs::File::create(path)?;
     f.write_all(out.as_bytes())
 }
 
 fn main() {
+    // The only flag: `--out <path>` redirects the JSON artifact.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_sim.json");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match (flag.as_str(), it.next()) {
+            ("--out", Some(path)) => out_path = path.clone(),
+            _ => {
+                eprintln!("usage: microbench [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut records = Vec::new();
     println!("{:28} {:>11}  ({ITERS} iters x {REPS} reps)", "", "median");
 
@@ -260,10 +337,11 @@ fn main() {
         "", "median"
     );
     bench_scheduler_scaling(&mut records);
+    let parallel_speedup_4t = bench_parallel_scaling(&mut records);
     let throughput = bench_throughput();
 
-    match write_json(&records, &throughput) {
-        Ok(()) => println!("\nwrote BENCH_sim.json ({} entries)", records.len()),
-        Err(e) => eprintln!("microbench: could not write BENCH_sim.json: {e}"),
+    match write_json(&out_path, &records, &throughput, parallel_speedup_4t) {
+        Ok(()) => println!("\nwrote {out_path} ({} entries)", records.len()),
+        Err(e) => eprintln!("microbench: could not write {out_path}: {e}"),
     }
 }

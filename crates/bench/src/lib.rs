@@ -10,7 +10,12 @@
 //! Run length is controlled by the `DEACT_REFS` environment variable
 //! (references per core; default 100 000 for headline figures, less
 //! for multi-point sweeps), worker count by `DEACT_JOBS` (default: the
-//! host's available parallelism).
+//! host's available parallelism), and intra-run parallelism by
+//! `DEACT_SIM_THREADS` (threads per simulation via
+//! [`deact::System::try_run_parallel`]; default 1 = the sequential
+//! engine). The two levels compose — `DEACT_JOBS` spreads the matrix
+//! across runs, `DEACT_SIM_THREADS` spreads one run across its nodes —
+//! and reports are bit-identical at any setting of either.
 
 #![warn(missing_docs)]
 
@@ -35,6 +40,18 @@ pub fn refs_from_env(default: u64) -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Intra-run simulation threads from `DEACT_SIM_THREADS`, defaulting
+/// to 1 (the sequential engine). Like `DEACT_JOBS` this is a harness
+/// knob, not a [`SystemConfig`] field: it cannot change any report and
+/// must not perturb the memoized run cache's configuration keys.
+pub fn sim_threads_from_env() -> usize {
+    std::env::var("DEACT_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
 }
 
 /// Parses one `DEACT_TRACE` value: `off`/`0`/`none` disables tracing,
@@ -163,7 +180,7 @@ pub fn run_matrix_opts(
 
 fn run_one(bench: &str, scheme: Scheme, cfg: SystemConfig) -> RunReport {
     let w = Workload::by_name(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
-    deact::System::new(cfg.with_scheme(scheme), &w).run()
+    deact::System::new(cfg.with_scheme(scheme), &w).run_parallel(sim_threads_from_env())
 }
 
 /// Prints a figure header.

@@ -5,15 +5,29 @@
 //!                           [--refs N] [--nodes N] [--fabric-ns N]
 //!                           [--stu-entries N] [--seed N]
 //!                           [--fault-profile transient[:seed]]
-//! deact-sim compare <benchmark> [--refs N] [--jobs N]  # all four schemes
+//!                           [--sim-threads N]
+//! deact-sim compare <benchmark> [--refs N] [--jobs N]
+//!                               [--sim-threads N]      # all four schemes
 //! deact-sim trace [<benchmark>] [--out trace.json] [--window N]
 //!                 [--ring N] [plus any `run` flag]    # Perfetto trace
 //! deact-sim list                                       # Table III roster
 //! ```
 //!
-//! `--jobs N` bounds the worker threads `compare` uses to run the four
-//! schemes (default: `DEACT_JOBS`, else the host's available
-//! parallelism). Reports are bit-identical at any worker count.
+//! Two parallelism knobs compose, and both leave reports bit-identical
+//! at any setting:
+//!
+//! * `--jobs N` — *across-run* parallelism: how many worker threads
+//!   `compare` uses to run the four schemes concurrently (default:
+//!   `DEACT_JOBS`, else the host's available parallelism).
+//! * `--sim-threads N` — *intra-run* parallelism: how many threads one
+//!   simulation spreads its nodes over
+//!   ([`deact::System::try_run_parallel`]; default:
+//!   `DEACT_SIM_THREADS`, else 1 = the sequential engine). Useful once
+//!   a single many-node run dominates wall clock.
+//!
+//! When both are set, `compare` caps `--sim-threads` so the product
+//! `jobs × sim_threads` stays within the host's available parallelism
+//! — oversubscription would only slow both levels down.
 //!
 //! `trace` runs one benchmark (default `sssp` under the paper-default
 //! DeACT-N configuration) with the tracer on and writes a Chrome
@@ -23,7 +37,7 @@
 
 use std::process::ExitCode;
 
-use deact::{try_run_benchmark, RunReport, Scheme, System, SystemConfig};
+use deact::{try_run_benchmark_threads, RunReport, Scheme, System, SystemConfig};
 use fam_sim::{trace::write_chrome_trace, FaultConfig, TraceConfig};
 use fam_workloads::{table3, Workload};
 
@@ -31,10 +45,16 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  deact-sim run <benchmark> [--scheme S] [--refs N] [--nodes N] \
          [--fabric-ns N] [--stu-entries N] [--seed N] \
-         [--fault-profile transient[:seed]]\n  \
-         deact-sim compare <benchmark> [--refs N] [--jobs N]\n  \
+         [--fault-profile transient[:seed]] [--sim-threads N]\n  \
+         deact-sim compare <benchmark> [--refs N] [--jobs N] [--sim-threads N]\n  \
          deact-sim trace [<benchmark>] [--out trace.json] [--window N] [--ring N] \
-         [plus any `run` flag]\n  deact-sim list"
+         [plus any `run` flag]\n  deact-sim list\n\n\
+         parallelism: --jobs runs schemes concurrently (across-run, default \
+         DEACT_JOBS else all cores);\n  --sim-threads parallelizes the nodes \
+         *inside* one run (intra-run, default DEACT_SIM_THREADS else 1 = \
+         sequential).\n  They compose; compare caps jobs x sim-threads at the \
+         host's available parallelism.\n  Reports are bit-identical at any \
+         setting of either knob."
     );
     ExitCode::FAILURE
 }
@@ -78,6 +98,35 @@ fn extract_jobs(args: &[String]) -> Option<(Vec<String>, usize)> {
         }
     }
     Some((rest, jobs))
+}
+
+/// Intra-run thread count when `--sim-threads` is absent:
+/// `DEACT_SIM_THREADS`, else 1 (the sequential engine, so existing
+/// invocations behave byte-identically).
+fn sim_threads_default() -> usize {
+    std::env::var("DEACT_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Splits `--sim-threads N` out of the argument list (like `--jobs`, a
+/// harness knob, not a [`SystemConfig`] field); returns the remaining
+/// flags and the intra-run thread count. Returns `None` on a malformed
+/// count.
+fn extract_sim_threads(args: &[String]) -> Option<(Vec<String>, usize)> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut threads = sim_threads_default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--sim-threads" {
+            threads = it.next()?.parse().ok().filter(|&n| n > 0)?;
+        } else {
+            rest.push(flag.clone());
+        }
+    }
+    Some((rest, threads))
 }
 
 /// Splits the trace-only options (`--out`, `--window`, `--ring`) out of
@@ -187,8 +236,8 @@ fn print_report(r: &RunReport) {
     }
 }
 
-fn run_or_report(bench: &str, cfg: SystemConfig) -> Result<RunReport, ExitCode> {
-    try_run_benchmark(bench, cfg).map_err(|e| {
+fn run_or_report(bench: &str, cfg: SystemConfig, threads: usize) -> Result<RunReport, ExitCode> {
+    try_run_benchmark_threads(bench, cfg, threads).map_err(|e| {
         eprintln!("deact-sim: {e}");
         ExitCode::FAILURE
     })
@@ -208,10 +257,13 @@ fn main() -> ExitCode {
             let Some(bench) = args.get(1) else {
                 return usage();
             };
-            let Some(cfg) = apply_flags(SystemConfig::paper_default(), &args[2..]) else {
+            let Some((rest, sim_threads)) = extract_sim_threads(&args[2..]) else {
                 return usage();
             };
-            match run_or_report(bench, cfg) {
+            let Some(cfg) = apply_flags(SystemConfig::paper_default(), &rest) else {
+                return usage();
+            };
+            match run_or_report(bench, cfg, sim_threads) {
                 Ok(r) => {
                     print_report(&r);
                     ExitCode::SUCCESS
@@ -230,6 +282,9 @@ fn main() -> ExitCode {
             let Some((rest, out, trace)) = extract_trace_opts(flags) else {
                 return usage();
             };
+            let Some((rest, sim_threads)) = extract_sim_threads(&rest) else {
+                return usage();
+            };
             let Some(cfg) = apply_flags(
                 SystemConfig::paper_default().with_scheme(Scheme::DeactN),
                 &rest,
@@ -243,7 +298,7 @@ fn main() -> ExitCode {
             };
             let frequency_mhz = cfg.frequency_mhz;
             let mut system = System::new(cfg, &workload);
-            let r = match system.try_run() {
+            let r = match system.try_run_parallel(sim_threads) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("deact-sim: {e}");
@@ -304,14 +359,22 @@ fn main() -> ExitCode {
             let Some((rest, jobs)) = extract_jobs(&args[2..]) else {
                 return usage();
             };
+            let Some((rest, sim_threads)) = extract_sim_threads(&rest) else {
+                return usage();
+            };
             let Some(cfg) = apply_flags(SystemConfig::paper_default(), &rest) else {
                 return usage();
             };
+            // Cap the product of the two parallelism levels at the
+            // host's available parallelism: with four scheme runs in
+            // flight, oversubscribing the intra-run threads would only
+            // slow everything down (reports are identical either way).
+            let sim_threads = sim_threads.min((fam_sim::default_jobs() / jobs).max(1));
             // Run all four schemes across the bounded pool; printing
             // happens afterwards in scheme order, so the table is
             // identical at any worker count.
             let reports = fam_sim::scoped_map(jobs, Scheme::ALL.len(), |i| {
-                run_or_report(bench, cfg.with_scheme(Scheme::ALL[i]))
+                run_or_report(bench, cfg.with_scheme(Scheme::ALL[i]), sim_threads)
             });
             let mut baseline_ipc = None;
             println!(

@@ -63,7 +63,7 @@ pub use error::SimError;
 pub use fam_sim::{LatencyBreakdown, RequestId, Stage, TraceConfig, TraceEvent, Tracer, Track};
 pub use metrics::{FamTraffic, FaultRecovery, RunReport};
 pub use scheme::Scheme;
-pub use system::{run_benchmark, try_run_benchmark, System};
+pub use system::{run_benchmark, try_run_benchmark, try_run_benchmark_threads, System};
 pub use translator::{
     FamTranslator, OutstandingMappingList, RetryConfig, RetryOutcome, RetryState, TranslatorStats,
 };

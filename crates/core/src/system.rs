@@ -14,7 +14,7 @@ use fam_workloads::{MemRef, RefStream, TraceGenerator, Workload};
 
 use crate::error::SimError;
 use crate::metrics::{FamTraffic, FaultRecovery, RunReport};
-use crate::node::{Node, FAM_KEY_PAGE};
+use crate::node::{CoreState, Node, FAM_KEY_PAGE};
 use crate::translator::{RetryOutcome, RetryState};
 use crate::{Scheme, SystemConfig};
 
@@ -64,6 +64,10 @@ pub struct System {
     /// Request-lifecycle tracing; like the injector, a disabled tracer
     /// costs one branch per event site and nothing else.
     tracer: Tracer,
+    /// References retired by [`System::try_run_parallel`]'s node-local
+    /// phase — the engine's parallel coverage. Diagnostics only; never
+    /// part of the report (reports are engine-independent).
+    local_phase_refs: u64,
 }
 
 impl System {
@@ -174,8 +178,17 @@ impl System {
             recovery: FaultRecovery::default(),
             frame_scratch: Vec::with_capacity(fam_fabric::packet::PACKET_BYTES),
             tracer: Tracer::new(config.trace, config.nodes),
+            local_phase_refs: 0,
             config,
         }
+    }
+
+    /// References the parallel engine retired in its node-local phase
+    /// (zero after a sequential run) — the fraction of the run that
+    /// escaped the sequential commit phase, and so the ceiling on
+    /// intra-run speedup. Deterministic and thread-count invariant.
+    pub fn local_phase_refs(&self) -> u64 {
+        self.local_phase_refs
     }
 
     /// The configuration in force.
@@ -310,6 +323,186 @@ impl System {
         Ok(self.report())
     }
 
+    /// Runs the system with intra-run parallelism and reports,
+    /// bit-identically to [`System::try_run`] — a property the
+    /// integration tests pin down across schemes, node counts, fault
+    /// injection and tracing. `threads <= 1` (and single-node systems,
+    /// which have no cross-node work to overlap) delegate to the
+    /// sequential engine outright.
+    ///
+    /// The clock advances in epochs bounded by a conservative
+    /// lookahead: any cross-node influence rides the fabric, so no
+    /// reference starting at or after `epoch_start + fabric_latency`
+    /// can affect one starting before it. Each epoch runs two phases:
+    ///
+    /// 1. **Node-local (parallel)** — every node with work below the
+    ///    horizon retires, on its own thread, the front references it
+    ///    can prove touch node-local state only (TLB hit, and either an
+    ///    LLC hit or a DRAM-backed miss whose predicted victim is also
+    ///    DRAM-backed). A node *blocks* at its first unprovable
+    ///    reference, preserving per-node program order. Timing events
+    ///    land in a per-node shard tracer with a disjoint request-id
+    ///    range.
+    /// 2. **Shared-resource commit (sequential)** — everything still
+    ///    staged below the horizon (fabric, STU, NVM, broker, global
+    ///    traffic/recovery counters, and any reference behind them)
+    ///    drains in exactly the global `(ready, slot)` order the
+    ///    sequential scheduler would have chosen.
+    ///
+    /// Bit-identity holds because locally-retired references commute
+    /// with everything outside their node (they touch no shared state
+    /// and their keys precede every deferred key of the same node),
+    /// the commit phase is a faithful replica of the sequential loop,
+    /// and merged shard statistics accumulate commutatively. Request
+    /// ids are the one observable that differs (shard streams draw
+    /// from offset bases); ids never influence timing, so reports are
+    /// identical — only trace-ring contents may differ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FamExhausted`] when the broker cannot
+    /// demand-map another FAM page for the workload.
+    pub fn try_run_parallel(&mut self, threads: usize) -> Result<RunReport, SimError> {
+        if threads <= 1 || self.nodes.len() < 2 {
+            return self.try_run();
+        }
+        let refs = self.config.refs_per_core;
+        let cores_per_node = self.config.cores_per_node;
+        let issue_width = u64::from(self.config.issue_width);
+        // Per-node shard tracers with disjoint request-id ranges, so
+        // ids stay unique without synchronizing on the main tracer.
+        let mut shards: Vec<Tracer> = (0..self.nodes.len())
+            .map(|n| {
+                Tracer::new(self.config.trace, self.config.nodes)
+                    .with_request_base(((n as u64) + 1) << 48)
+            })
+            .collect();
+        for n in 0..self.nodes.len() {
+            for c in 0..self.nodes[n].cores.len() {
+                if self.nodes[n].cores[c].refs_done < refs {
+                    self.stage_ref(n, c);
+                }
+            }
+        }
+        // Correctness needs only L >= 1 (the commit phase replays the
+        // sequential order below the horizon regardless); the fabric
+        // latency just makes epochs usefully wide.
+        let lookahead = self.fabric.latency().max(Duration(1));
+        let mut commit_queue: IndexedMinHeap<(Cycle, usize)> =
+            IndexedMinHeap::new(self.nodes.len() * cores_per_node);
+        // Adaptive spawn gate: spawning is only worth its fixed cost
+        // when the local phase retires enough references per spawned
+        // epoch. Track the measured yield and fall back to the inline
+        // path for the rest of the run once it proves too thin. The
+        // gate changes execution strategy only — phase results are
+        // identical either way — so bit-identity is unaffected.
+        const SPAWN_PROBE_EPOCHS: u64 = 8;
+        const MIN_LOCAL_REFS_PER_SPAWN: u64 = 64;
+        let mut spawned_epochs = 0u64;
+        let mut spawned_refs = 0u64;
+        let mut spawning_pays = true;
+        loop {
+            let epoch_start = self
+                .nodes
+                .iter()
+                .flat_map(|node| node.cores.iter())
+                .filter_map(|core| core.pending.map(|p| p.ready))
+                .min();
+            let Some(epoch_start) = epoch_start else {
+                break;
+            };
+            let horizon = epoch_start + lookahead;
+
+            // Phase 1: node-local retirement, one thread per active
+            // node (the map is deterministic — each node mutates only
+            // its own state and shard, so thread scheduling is
+            // invisible). Spawning is gated on a cheap pre-check:
+            // epochs with fewer than two nodes holding provably-local
+            // front work — the common case on translation-hostile
+            // workloads — run the phase inline, because spawning costs
+            // more than the phase itself.
+            let mut local_nodes = 0usize;
+            if spawning_pays {
+                for node in &self.nodes {
+                    if has_local_front(node, horizon) {
+                        local_nodes += 1;
+                        if local_nodes >= 2 {
+                            break;
+                        }
+                    }
+                }
+            }
+            let phase_threads = if local_nodes >= 2 { threads } else { 1 };
+            let mut active: Vec<(usize, &mut Node, &mut Tracer)> = self
+                .nodes
+                .iter_mut()
+                .zip(shards.iter_mut())
+                .enumerate()
+                .filter(|(_, (node, _))| {
+                    node.cores
+                        .iter()
+                        .any(|core| core.pending.is_some_and(|p| p.ready < horizon))
+                })
+                .map(|(n, (node, shard))| (n, node, shard))
+                .collect();
+            let retired = fam_sim::scoped_map_mut(phase_threads, &mut active, |_, item| {
+                let (n, node, shard) = item;
+                node_local_phase(*n, node, shard, horizon, issue_width, refs)
+            });
+            let epoch_retired: u64 = retired.iter().sum();
+            self.local_phase_refs += epoch_retired;
+            if phase_threads > 1 {
+                spawned_epochs += 1;
+                spawned_refs += epoch_retired;
+                if spawned_epochs >= SPAWN_PROBE_EPOCHS
+                    && spawned_refs < MIN_LOCAL_REFS_PER_SPAWN * spawned_epochs
+                {
+                    spawning_pays = false;
+                }
+            }
+
+            // Phase 2: sequential commit of everything left below the
+            // horizon, in global (ready, slot) order.
+            debug_assert!(commit_queue.is_empty());
+            for n in 0..self.nodes.len() {
+                for c in 0..self.nodes[n].cores.len() {
+                    if let Some(p) = self.nodes[n].cores[c].pending {
+                        if p.ready < horizon {
+                            let slot = n * cores_per_node + c;
+                            commit_queue.insert(slot, (p.ready, slot));
+                        }
+                    }
+                }
+            }
+            while let Some((slot, _)) = commit_queue.pop() {
+                let (n, c) = (slot / cores_per_node, slot % cores_per_node);
+                self.sim_ref(n, c)?;
+                if self.nodes[n].cores[c].refs_done < refs {
+                    self.stage_ref(n, c);
+                    let ready = self.staged_ready(n, c);
+                    if ready < horizon {
+                        commit_queue.insert(slot, (ready, slot));
+                    }
+                }
+            }
+        }
+        for shard in &shards {
+            self.tracer.absorb(shard);
+        }
+        Ok(self.report())
+    }
+
+    /// Panicking wrapper over [`System::try_run_parallel`], mirroring
+    /// [`System::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run cannot complete.
+    pub fn run_parallel(&mut self, threads: usize) -> RunReport {
+        self.try_run_parallel(threads)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Predicted start of the reference just staged on `(n, c)`.
     fn staged_ready(&self, n: usize, c: usize) -> Cycle {
         self.nodes[n].cores[c]
@@ -322,20 +515,7 @@ impl System {
     fn stage_ref(&mut self, n: usize, c: usize) {
         let issue_width = u64::from(self.config.issue_width);
         let req = self.tracer.next_request();
-        let core = &mut self.nodes[n].cores[c];
-        let r = core.gen.next_ref();
-        core.instructions += u64::from(r.gap_instrs) + 1;
-        core.next_issue += Duration(u64::from(r.gap_instrs).div_ceil(issue_width) + 1);
-        let mut start_req = core.next_issue.max(core.issue_clock);
-        if r.dependent {
-            start_req = start_req.max(core.last_mem_completion);
-        }
-        core.pending = Some(crate::node::PendingRef {
-            mem: r,
-            req,
-            start_req,
-            ready: core.window.would_start(start_req),
-        });
+        stage_core(&mut self.nodes[n].cores[c], issue_width, req);
     }
 
     /// Simulates one staged reference of core `c` on node `n` end to
@@ -1111,6 +1291,164 @@ fn access_kind(kind: MemOpKind) -> AccessKind {
     }
 }
 
+/// Draws the next reference of `core` and predicts its start — the body
+/// of [`System::stage_ref`], shared with the parallel engine's
+/// node-local phase (which draws `req` from a per-node shard tracer
+/// instead of the system one).
+fn stage_core(core: &mut CoreState, issue_width: u64, req: RequestId) {
+    let r = core.gen.next_ref();
+    core.instructions += u64::from(r.gap_instrs) + 1;
+    core.next_issue += Duration(u64::from(r.gap_instrs).div_ceil(issue_width) + 1);
+    let mut start_req = core.next_issue.max(core.issue_clock);
+    if r.dependent {
+        start_req = start_req.max(core.last_mem_completion);
+    }
+    core.pending = Some(crate::node::PendingRef {
+        mem: r,
+        req,
+        start_req,
+        ready: core.window.would_start(start_req),
+    });
+}
+
+/// The node's front staged reference — the same greedy `(ready, core)`
+/// choice the sequential scheduler makes, restricted to one node.
+fn front_of(node: &Node) -> Option<(Cycle, usize)> {
+    let mut best: Option<(Cycle, usize)> = None;
+    for (c, core) in node.cores.iter().enumerate() {
+        if let Some(p) = core.pending {
+            if best.is_none_or(|b| (p.ready, c) < b) {
+                best = Some((p.ready, c));
+            }
+        }
+    }
+    best
+}
+
+/// Side-effect-free eligibility probe: predicts whether the staged
+/// reference `p` of core `c` provably touches node-local state only,
+/// returning the translation, physical byte, and predicted LLC outcome
+/// it would observe.
+///
+/// This mirrors the [`System::sim_ref`] fast path exactly: the TLB
+/// must hold the translation (a miss could walk or fault through the
+/// broker), and the data access must either hit the LLC or miss to
+/// node DRAM *and* evict — if anything — a DRAM-backed victim (FAM
+/// misses and FAM writebacks ride the fabric).
+fn probe_local(node: &Node, c: usize, p: &crate::node::PendingRef) -> Option<(Pte, u64, bool)> {
+    let pte = node.cores[c].tlb.probe(p.mem.vaddr.vpage())?;
+    let phys_byte = pte.target_page * PAGE_BYTES + p.mem.vaddr.offset();
+    let line = phys_byte / 64;
+    let llc_hit = node.hierarchy.would_hit(line);
+    if !llc_hit
+        && (node.is_fam_page(pte.target_page)
+            || node
+                .hierarchy
+                .would_evict(line)
+                .is_some_and(|victim| node.is_fam_page(victim * 64 / PAGE_BYTES)))
+    {
+        return None;
+    }
+    Some((pte, phys_byte, llc_hit))
+}
+
+/// Whether `node`'s front reference would retire in the node-local
+/// phase — the spawn-worthiness test of an epoch's parallel phase.
+fn has_local_front(node: &Node, horizon: Cycle) -> bool {
+    match front_of(node) {
+        Some((ready, c)) if ready < horizon => {
+            let p = node.cores[c].pending.expect("front reference is staged");
+            probe_local(node, c, &p).is_some()
+        }
+        _ => false,
+    }
+}
+
+/// One node's share of a parallel epoch: retire front references below
+/// `horizon` that provably touch node-local state only ([`probe_local`]),
+/// in the same greedy `(ready, core)` order the sequential scheduler
+/// applies, blocking at the first reference that could reach shared
+/// state. Everything a retirement touches (TLB recency, cache state,
+/// node DRAM timeline, core bookkeeping, the shard tracer) belongs to
+/// this node alone. Returns the number of references retired.
+fn node_local_phase(
+    n: usize,
+    node: &mut Node,
+    shard: &mut Tracer,
+    horizon: Cycle,
+    issue_width: u64,
+    refs: u64,
+) -> u64 {
+    let mut retired = 0u64;
+    while let Some((ready, c)) = front_of(node) {
+        if ready >= horizon {
+            break;
+        }
+        let p = node.cores[c].pending.expect("front reference is staged");
+        let Some((pte, phys_byte, llc_hit)) = probe_local(node, c, &p) else {
+            break;
+        };
+        let vpage = p.mem.vaddr.vpage();
+        let line = phys_byte / 64;
+
+        // Execute: a faithful twin of the sim_ref local path.
+        let (start, tlb_latency) = {
+            let core = &mut node.cores[c];
+            core.pending = None;
+            let start = core.window.admit(p.start_req);
+            core.issue_clock = start;
+            let (_, tlb_latency, hit) = core.tlb.lookup(vpage);
+            debug_assert_eq!(hit.map(|h| h.target_page), Some(pte.target_page));
+            (start, tlb_latency)
+        };
+        let t = start + tlb_latency;
+        if shard.is_enabled() {
+            shard.record(TraceEvent {
+                req: p.req,
+                stage: Stage::TlbLookup,
+                track: Track::Node(n as u16),
+                start,
+                end: t,
+            });
+        }
+        let lookup = node.hierarchy.access(c, line, p.mem.is_write);
+        debug_assert_eq!(lookup.level.is_some(), llc_hit);
+        let mut completion = t + lookup.latency;
+        if lookup.level.is_none() {
+            completion = if p.mem.is_write {
+                node.dram.write(completion, phys_byte)
+            } else {
+                node.dram.access(completion, phys_byte)
+            };
+        }
+        if let Some(wb_line) = lookup.writeback {
+            debug_assert!(!node.is_fam_page(wb_line * 64 / PAGE_BYTES));
+            node.dram.write(completion, wb_line * 64);
+        }
+
+        let core = &mut node.cores[c];
+        core.window.record_completion(completion);
+        core.last_mem_completion = completion;
+        core.refs_done += 1;
+        core.finish = core.finish.max(completion);
+        if shard.wants_windows() {
+            shard.sample(
+                completion,
+                WindowSample {
+                    instructions: u64::from(p.mem.gap_instrs) + 1,
+                    ..WindowSample::default()
+                },
+            );
+        }
+        retired += 1;
+        if core.refs_done < refs {
+            let req = shard.next_request();
+            stage_core(core, issue_width, req);
+        }
+    }
+    retired
+}
+
 /// Runs one benchmark under one configuration and returns the report —
 /// the workhorse of the experiment harness.
 ///
@@ -1143,10 +1481,28 @@ pub fn run_benchmark(name: &str, config: SystemConfig) -> RunReport {
 /// assert!(matches!(err, SimError::UnknownBenchmark { .. }));
 /// ```
 pub fn try_run_benchmark(name: &str, config: SystemConfig) -> Result<RunReport, SimError> {
+    try_run_benchmark_threads(name, config, 1)
+}
+
+/// [`try_run_benchmark`] with intra-run parallelism: the run executes
+/// on [`System::try_run_parallel`] with `threads` workers, so the
+/// report is bit-identical at any thread count (`1` is the sequential
+/// engine). Compose with across-run parallelism (a sweep's `--jobs`)
+/// by splitting the host's cores between the two levels.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownBenchmark`] for a name outside Table
+/// III, or any error of [`System::try_run_parallel`].
+pub fn try_run_benchmark_threads(
+    name: &str,
+    config: SystemConfig,
+    threads: usize,
+) -> Result<RunReport, SimError> {
     let workload = Workload::by_name(name).ok_or_else(|| SimError::UnknownBenchmark {
         name: name.to_string(),
     })?;
-    System::new(config, &workload).try_run()
+    System::new(config, &workload).try_run_parallel(threads)
 }
 
 #[cfg(test)]
@@ -1266,6 +1622,43 @@ mod tests {
             n.acm_hit_rate.unwrap(),
             w.acm_hit_rate.unwrap()
         );
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_reports() {
+        for scheme in Scheme::ALL {
+            let cfg = quick(scheme)
+                .with_nodes(4)
+                .with_fam_modules(4)
+                .with_refs_per_core(800);
+            let w = Workload::by_name("astar").unwrap();
+            let seq = System::new(cfg, &w).try_run().expect("sequential run");
+            let par = System::new(cfg, &w)
+                .try_run_parallel(4)
+                .expect("parallel run");
+            assert_eq!(seq, par, "{scheme}: parallel report diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_engine_is_thread_count_invariant() {
+        let cfg = quick(Scheme::DeactN)
+            .with_nodes(4)
+            .with_fam_modules(4)
+            .with_refs_per_core(600);
+        let w = Workload::by_name("pf").unwrap();
+        let two = System::new(cfg, &w).run_parallel(2);
+        let four = System::new(cfg, &w).run_parallel(4);
+        assert_eq!(two, four);
+    }
+
+    #[test]
+    fn parallel_with_one_thread_is_the_sequential_engine() {
+        let cfg = quick(Scheme::EFam).with_nodes(2).with_refs_per_core(500);
+        let w = Workload::by_name("sssp").unwrap();
+        let seq = System::new(cfg, &w).run();
+        let one = System::new(cfg, &w).run_parallel(1);
+        assert_eq!(seq, one);
     }
 
     #[test]

@@ -179,6 +179,35 @@ impl<V> SetAssocCache<V> {
         self.sets[self.set_index(key)].iter().any(|w| w.key == key)
     }
 
+    /// Shared access to `key`'s value without touching recency or
+    /// hit/miss statistics — the value-returning counterpart of
+    /// [`SetAssocCache::probe`], for predicting what a later real
+    /// access would observe.
+    pub fn peek(&self, key: u64) -> Option<&V> {
+        self.sets[self.set_index(key)]
+            .iter()
+            .find(|w| w.key == key)
+            .map(|w| &w.value)
+    }
+
+    /// The key that `insert(key, …)` would evict right now, without
+    /// changing anything: `None` when `key` is already resident or its
+    /// set still has room. Exact only for LRU replacement — predicting
+    /// a `Random` victim would consume RNG state and so perturb the
+    /// very outcome being predicted.
+    pub fn peek_victim(&self, key: u64) -> Option<u64> {
+        debug_assert_eq!(
+            self.config.replacement,
+            Replacement::Lru,
+            "random replacement victims cannot be predicted"
+        );
+        let set = &self.sets[self.set_index(key)];
+        if set.len() < self.config.ways || set.iter().any(|w| w.key == key) {
+            return None;
+        }
+        set.iter().min_by_key(|w| w.stamp).map(|w| w.key)
+    }
+
     /// Mutable access to `key`'s value without touching recency or
     /// hit/miss statistics — for metadata maintenance (e.g. a dirty
     /// bit propagated by an outer cache level) that is not a real
@@ -389,6 +418,31 @@ mod tests {
         c.insert(1, 10);
         c.insert(2, 20);
         assert!(c.probe(1));
+        assert_eq!(c.stats().total(), 0);
+        // Recency untouched: 1 is still LRU, gets evicted.
+        assert_eq!(c.insert(3, 30), Some((1, 10)));
+    }
+
+    #[test]
+    fn peek_victim_predicts_lru_eviction() {
+        let mut c = tiny(2, Replacement::Lru);
+        assert_eq!(c.peek_victim(1), None, "room in the set");
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.get(1); // 2 is now LRU
+        assert_eq!(c.peek_victim(1), None, "resident key never evicts");
+        assert_eq!(c.peek_victim(3), Some(2));
+        assert_eq!(c.stats().total(), 1, "only the get counted");
+        assert_eq!(c.insert(3, 30), Some((2, 20)), "prediction matches");
+    }
+
+    #[test]
+    fn peek_reads_without_side_effects() {
+        let mut c = tiny(2, Replacement::Lru);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.peek(1), Some(&10));
+        assert_eq!(c.peek(3), None);
         assert_eq!(c.stats().total(), 0);
         // Recency untouched: 1 is still LRU, gets evicted.
         assert_eq!(c.insert(3, 30), Some((1, 10)));

@@ -62,7 +62,7 @@ mod window;
 pub use clock::{Cycle, Duration, Frequency};
 pub use event::EventQueue;
 pub use fault::{FabricFault, FaultConfig, FaultInjector, FaultStats};
-pub use pool::{default_jobs, scoped_map, ThreadPool};
+pub use pool::{default_jobs, scoped_map, scoped_map_mut, ThreadPool};
 pub use queue::IndexedMinHeap;
 pub use resource::{BankedResource, Resource};
 pub use rng::SimRng;

@@ -203,6 +203,81 @@ where
         .collect()
 }
 
+/// Runs `f(i, &mut items[i])` across at most `threads` scoped workers
+/// and returns the results in index order.
+///
+/// The mutable-borrow counterpart of [`scoped_map`]: each item is
+/// visited exactly once, by exactly one worker, so handing each worker
+/// a disjoint `&mut` is sound — the slice is split up front with
+/// `split_first_mut`-style decomposition into per-item cells. Work is
+/// still handed out by an atomic cursor (dynamic load balancing), and
+/// the output vector is always `[f(0, ..), f(1, ..), …]` regardless of
+/// which thread ran which item.
+///
+/// With `threads <= 1` (or a single item) the map runs serially on the
+/// caller's thread with no synchronisation at all.
+///
+/// # Panics
+///
+/// Propagates the first worker panic.
+///
+/// # Examples
+///
+/// ```
+/// use fam_sim::scoped_map_mut;
+///
+/// let mut counters = vec![10u64, 20, 30];
+/// let before = scoped_map_mut(2, &mut counters, |i, c| {
+///     let b = *c;
+///     *c += i as u64;
+///     b
+/// });
+/// assert_eq!(before, vec![10, 20, 30]);
+/// assert_eq!(counters, vec![10, 21, 32]);
+/// ```
+pub fn scoped_map_mut<A, T, F>(threads: usize, items: &mut [A], f: F) -> Vec<T>
+where
+    A: Send,
+    T: Send,
+    F: Fn(usize, &mut A) -> T + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        return items.iter_mut().enumerate().map(|(i, a)| f(i, a)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    // One cell per item: each holds the item's exclusive borrow until
+    // the worker that wins index `i` takes it.
+    let cells: Vec<Mutex<Option<&mut A>>> = items.iter_mut().map(|a| Mutex::new(Some(a))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = cells[i]
+                    .lock()
+                    .expect("item cell poisoned")
+                    .take()
+                    .expect("each index is claimed once");
+                let value = f(i, item);
+                *results[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was produced")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +360,25 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn scoped_map_mut_mutates_each_item_once() {
+        for threads in [1, 2, 8] {
+            let mut items: Vec<u64> = (0..97).collect();
+            let out = scoped_map_mut(threads, &mut items, |i, v| {
+                *v += 1;
+                i as u64 * 2
+            });
+            assert_eq!(out, (0..97).map(|i| i * 2).collect::<Vec<_>>());
+            assert_eq!(items, (1..98).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn scoped_map_mut_empty_input() {
+        let mut items: Vec<u64> = Vec::new();
+        let out: Vec<()> = scoped_map_mut(4, &mut items, |_, _| unreachable!());
+        assert!(out.is_empty());
     }
 }

@@ -113,6 +113,15 @@ impl TlbHierarchy {
         (TlbHit::Miss, latency, None)
     }
 
+    /// Checks whether `vpage` is resident at either level, without
+    /// updating recency, promotion, or statistics. `probe(v).is_some()`
+    /// exactly predicts whether an immediately following
+    /// [`TlbHierarchy::lookup`] of the same `v` would hit, and the
+    /// returned PTE is the one that lookup would observe.
+    pub fn probe(&self, vpage: u64) -> Option<Pte> {
+        self.l1.peek(vpage).or_else(|| self.l2.peek(vpage)).copied()
+    }
+
     /// Installs a translation after a walk (fills both levels).
     pub fn fill(&mut self, vpage: u64, pte: Pte) {
         self.l2.insert(vpage, pte);
@@ -206,6 +215,32 @@ mod tests {
         t.lookup(1);
         assert_eq!(t.stats().hits(), 1);
         assert_eq!(t.stats().misses(), 1);
+    }
+
+    #[test]
+    fn probe_predicts_lookup_without_side_effects() {
+        let mut t = TlbHierarchy::new(TlbConfig::default());
+        assert_eq!(t.probe(1), None);
+        assert_eq!(t.stats().total(), 0, "probe records no statistics");
+        t.fill(1, pte(10));
+        assert_eq!(t.probe(1).unwrap().target_page, 10);
+        assert_eq!(t.stats().total(), 0);
+        // Exercise the L2-only path: evict 1 from a tiny L1.
+        let cfg = TlbConfig {
+            l1_entries: 2,
+            l1_ways: 2,
+            l2_entries: 8,
+            l2_ways: 8,
+            ..TlbConfig::default()
+        };
+        let mut t = TlbHierarchy::new(cfg);
+        t.fill(1, pte(1));
+        t.fill(2, pte(2));
+        t.fill(3, pte(3)); // 1 falls out of L1, stays in L2
+        let probed = t.probe(1);
+        let (hit, _, looked) = t.lookup(1);
+        assert_eq!(hit, TlbHit::L2);
+        assert_eq!(probed, looked, "probe returns what lookup observes");
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Bit-identity guarantees of the intra-run parallel engine.
+//!
+//! [`deact::System::try_run_parallel`] splits each epoch into a
+//! node-local phase that runs concurrently and a shared-resource
+//! commit phase that drains sequentially in global `(ready, slot)`
+//! order. These tests pin down that the split changed *nothing
+//! observable*: fixed-seed reports are bit-identical to the sequential
+//! engine ([`deact::System::try_run`]) across all four schemes, node
+//! counts, fault injection, and tracing — and invariant in the thread
+//! count, so results never depend on the machine they ran on.
+
+use deact::{RunReport, Scheme, System, SystemConfig};
+use fam_sim::{FaultConfig, TraceConfig};
+use fam_workloads::Workload;
+
+fn reports_for(cfg: SystemConfig, bench: &str, threads: usize) -> (RunReport, RunReport) {
+    let w = Workload::by_name(bench).expect("table3 benchmark");
+    let seq = System::new(cfg, &w).try_run().expect("sequential run");
+    let par = System::new(cfg, &w)
+        .try_run_parallel(threads)
+        .expect("parallel run");
+    (seq, par)
+}
+
+fn assert_equivalent(cfg: SystemConfig, bench: &str, threads: usize, label: &str) {
+    let (seq, par) = reports_for(cfg, bench, threads);
+    assert_eq!(seq, par, "{label}: engines must be bit-identical");
+}
+
+fn nodes_cfg(scheme: Scheme, nodes: usize) -> SystemConfig {
+    SystemConfig::paper_default()
+        .with_scheme(scheme)
+        .with_nodes(nodes)
+        .with_fam_modules(nodes.max(1))
+        .with_seed(31)
+}
+
+#[test]
+fn parallel_matches_sequential_all_schemes_single_node() {
+    for scheme in Scheme::ALL {
+        let cfg = nodes_cfg(scheme, 1).with_refs_per_core(2_000);
+        assert_equivalent(cfg, "astar", 4, &format!("1-node {scheme}"));
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_all_schemes_four_nodes() {
+    for scheme in Scheme::ALL {
+        let cfg = nodes_cfg(scheme, 4).with_refs_per_core(800);
+        assert_equivalent(cfg, "pf", 4, &format!("4-node {scheme}"));
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_all_schemes_sixteen_nodes() {
+    // The target configuration of the speedup criterion: 16 nodes, 64
+    // cores, maximal cross-node contention for the fabric trunk.
+    for scheme in Scheme::ALL {
+        let cfg = nodes_cfg(scheme, 16).with_refs_per_core(300);
+        assert_equivalent(cfg, "sssp", 4, &format!("16-node {scheme}"));
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_under_fault_injection() {
+    // Injected faults draw from the shared injector RNG on every FAM
+    // round trip, so the draw *order* is observable — the commit phase
+    // must replay it exactly.
+    for nodes in [4, 16] {
+        let cfg = nodes_cfg(Scheme::DeactN, nodes)
+            .with_refs_per_core(500)
+            .with_fault_injection(FaultConfig::transient(7));
+        assert_equivalent(cfg, "canl", 4, &format!("faulty {nodes}-node DeACT-N"));
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_with_tracing() {
+    // Latency breakdowns and window series merge from per-node shard
+    // tracers; the merged report (including the per-stage histograms)
+    // must equal the sequential tracer's.
+    for trace in [TraceConfig::breakdown_only(), TraceConfig::full()] {
+        let cfg = nodes_cfg(Scheme::DeactW, 4)
+            .with_refs_per_core(600)
+            .with_trace(trace);
+        assert_equivalent(cfg, "dc", 4, "traced 4-node DeACT-W");
+        let efam = nodes_cfg(Scheme::EFam, 4)
+            .with_refs_per_core(600)
+            .with_trace(trace);
+        assert_equivalent(efam, "dc", 4, "traced 4-node E-FAM");
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_with_faults_and_tracing_together() {
+    let cfg = nodes_cfg(Scheme::IFam, 4)
+        .with_refs_per_core(500)
+        .with_fault_injection(FaultConfig::transient(3))
+        .with_trace(TraceConfig::full());
+    assert_equivalent(cfg, "pf", 4, "faulty traced 4-node I-FAM");
+}
+
+#[test]
+fn parallel_report_is_thread_count_invariant() {
+    let cfg = nodes_cfg(Scheme::DeactN, 4).with_refs_per_core(600);
+    let w = Workload::by_name("astar").unwrap();
+    let two = System::new(cfg, &w).run_parallel(2);
+    let four = System::new(cfg, &w).run_parallel(4);
+    let eight = System::new(cfg, &w).run_parallel(8);
+    assert_eq!(two, four, "2 vs 4 threads");
+    assert_eq!(four, eight, "4 vs 8 threads");
+}
+
+#[test]
+fn one_thread_delegates_to_the_sequential_engine() {
+    let cfg = nodes_cfg(Scheme::EFam, 2).with_refs_per_core(800);
+    assert_equivalent(cfg, "sssp", 1, "1-thread 2-node E-FAM");
+}
