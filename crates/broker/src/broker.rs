@@ -5,7 +5,7 @@ use std::fmt;
 use fam_sim::SimRng;
 use fam_vm::{NodeId, PageTable, PtFlags, Pte, PAGE_BYTES};
 
-use crate::layout::REGION_BYTES;
+use crate::layout::{Quarantine, REGION_BYTES};
 use crate::{AccessKind, AcmStore, AcmWidth, FamLayout, LogicalNodeMap};
 
 /// Broker configuration.
@@ -83,6 +83,10 @@ pub struct SharedSegment {
     pub first_page: u64,
     /// Number of pages.
     pub pages: u64,
+    /// The members the segment is mapped into: `(node, flags,
+    /// npa_start)`. Migration and evacuation need this to find and
+    /// rewrite every member's system-table mappings.
+    pub members: Vec<(NodeId, PtFlags, u64)>,
 }
 
 impl SharedSegment {
@@ -97,11 +101,49 @@ impl SharedSegment {
 pub struct MigrationReport {
     /// Pages whose ownership moved.
     pub pages_moved: u64,
+    /// Shared-segment pages whose membership moved with the node
+    /// (counted once per segment membership transferred).
+    pub shared_pages_moved: u64,
     /// ACM entries rewritten in FAM.
     pub acm_writes: u64,
     /// System-level translations that must be invalidated (node-side
     /// FAM-translation-cache lines and STU entries).
     pub translation_invalidations: u64,
+}
+
+/// One page's fate during a permanent-failure evacuation: the
+/// shootdown worklist entry the system applies to node-side caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRelocation {
+    /// The node whose system-table mapping was rewritten.
+    pub node: NodeId,
+    /// The node-physical page that mapped to the failed FAM page.
+    pub npa_page: u64,
+    /// The quarantined FAM page the mapping used to name.
+    pub old_fam_page: u64,
+    /// Where the data lives now — `None` means the data is lost and
+    /// the mapping was removed (a later access takes a fresh demand
+    /// fault, or surfaces as data loss to whoever needed the bytes).
+    pub new_fam_page: Option<u64>,
+}
+
+/// What broker-led permanent-failure recovery accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvacuationReport {
+    /// Data pages copied to surviving FAM and remapped.
+    pub pages_evacuated: u64,
+    /// Data pages destroyed with the failed hardware.
+    pub pages_lost: u64,
+    /// System-page-table interior pages rebuilt on surviving FAM (the
+    /// broker authored every entry, so tables are always rebuildable).
+    pub table_pages_rebuilt: u64,
+    /// ACM entries rewritten.
+    pub acm_writes: u64,
+    /// Bytes copied over the management path (drives the simulated
+    /// evacuation-bandwidth cost).
+    pub bytes_copied: u64,
+    /// Usable capacity the quarantine removed from service, in pages.
+    pub capacity_pages_lost: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -221,7 +263,9 @@ impl MemoryBroker {
                 .ok_or(BrokerError::OutOfMemory)?;
             let first = region * (REGION_BYTES / PAGE_BYTES);
             let last = ((region + 1) * (REGION_BYTES / PAGE_BYTES)).min(self.layout.usable_pages());
-            self.free_pages.extend(first..last);
+            let quarantine = self.layout.quarantine();
+            self.free_pages
+                .extend((first..last).filter(|&p| !quarantine.contains(p)));
             // Fisher-Yates shuffle: random allocation order (§III-D).
             for i in (1..self.free_pages.len()).rev() {
                 let j = self.rng.index(i + 1);
@@ -327,6 +371,7 @@ impl MemoryBroker {
             region,
             first_page,
             pages,
+            members: members.to_vec(),
         };
         for fam_page in segment.fam_pages() {
             // All node-id bits set marks the page shared (§III-A); the
@@ -362,8 +407,10 @@ impl MemoryBroker {
     }
 
     /// Migrates every page owned by `from` to `to` (§VI): rewrites ACM
-    /// ownership, moves the system-table mappings, and reports the
-    /// shootdown work the caller must apply to node-side caches.
+    /// ownership, moves the system-table mappings — including the
+    /// node's *shared-segment* memberships, whose pages are not in
+    /// `owned_pages` and used to be silently left behind — and reports
+    /// the shootdown work the caller must apply to node-side caches.
     ///
     /// # Errors
     ///
@@ -402,7 +449,233 @@ impl MemoryBroker {
         }
         self.nodes[to.index()].owned_pages.extend(&moved);
         report.pages_moved = moved.len() as u64;
+
+        // Shared-segment memberships travel with the job: revoke the
+        // old node's bitmap grant, grant the new one, and rewrite the
+        // member's system-table mappings under the same NPAs.
+        for seg_idx in 0..self.shared_segments.len() {
+            let segment = self.shared_segments[seg_idx].clone();
+            for (m, &(member, flags, npa_start)) in segment.members.iter().enumerate() {
+                if member != from {
+                    continue;
+                }
+                self.acm.revoke_shared(segment.region, from);
+                self.acm.grant_shared(segment.region, to, flags);
+                report.acm_writes += 1;
+                for (i, fam_page) in segment.fam_pages().enumerate() {
+                    let npa_page = npa_start + i as u64;
+                    self.nodes[from.index()].table.unmap(npa_page);
+                    let mut spare: Vec<u64> = Vec::with_capacity(3);
+                    for _ in 0..3 {
+                        spare.push(self.take_page()?);
+                    }
+                    let state = &mut self.nodes[to.index()];
+                    let mut alloc = |_level: usize| {
+                        spare.pop().expect("three spare pages cover a mapping") * PAGE_BYTES
+                    };
+                    state.table.map(npa_page, fam_page, flags, &mut alloc);
+                    self.free_pages.extend(spare);
+                    report.translation_invalidations += 1;
+                }
+                report.shared_pages_moved += segment.pages;
+                self.shared_segments[seg_idx].members[m] = (to, flags, npa_start);
+            }
+        }
         Ok(report)
+    }
+
+    /// Quarantines the FAM pages a permanent failure took out and
+    /// rewrites every mapping that named them — the broker half of the
+    /// permanent-failure recovery protocol.
+    ///
+    /// * The free pool and future region refills shed quarantined
+    ///   pages, so nothing doomed is ever handed out again.
+    /// * Data pages still reachable over the management path
+    ///   (`evacuable`, i.e. a severed data link) are copied to
+    ///   surviving FAM and their system-table mappings rewritten in
+    ///   place; unreachable pages (dead node, failed media) are lost —
+    ///   their mappings are removed and their ACM entries cleared, so
+    ///   a later touch takes a fresh demand fault.
+    /// * System-page-table pages on failed media are rebuilt on
+    ///   surviving FAM regardless of `evacuable`: the broker authored
+    ///   every entry, so tables are always reconstructible.
+    ///
+    /// Returns the accounting plus the shootdown worklist — one
+    /// [`PageRelocation`] per rewritten or removed mapping — which the
+    /// caller must apply to node-side caches (TLBs, STU, PTW caches)
+    /// before any core may observe the new state. Evacuation that runs
+    /// out of surviving capacity degrades page-by-page into loss
+    /// rather than failing the protocol.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (capacity exhaustion degrades
+    /// to loss); the `Result` reserves room for future broker errors.
+    pub fn quarantine_and_evacuate(
+        &mut self,
+        quarantine: Quarantine,
+        evacuable: bool,
+    ) -> Result<(EvacuationReport, Vec<PageRelocation>), BrokerError> {
+        self.layout.set_quarantine(quarantine);
+        let mut report = EvacuationReport {
+            capacity_pages_lost: self.layout.quarantined_pages(),
+            ..EvacuationReport::default()
+        };
+        let mut relocations = Vec::new();
+
+        self.free_pages.retain(|&p| !quarantine.contains(p));
+
+        // Owned data pages.
+        for node_idx in 0..self.nodes.len() {
+            let node = NodeId::new(node_idx as u16);
+            let doomed: Vec<(u64, u64)> = self.nodes[node_idx]
+                .owned_pages
+                .iter()
+                .copied()
+                .filter(|&(_, fam)| quarantine.contains(fam))
+                .collect();
+            for (npa_page, old_fam) in doomed {
+                let replacement = if evacuable {
+                    self.take_page().ok()
+                } else {
+                    None
+                };
+                let state = &mut self.nodes[node_idx];
+                match replacement {
+                    Some(new_fam) => {
+                        let flags = state
+                            .table
+                            .translate(npa_page)
+                            .map(|pte| pte.flags)
+                            .unwrap_or_else(PtFlags::rw);
+                        let mut alloc = |_level: usize| -> u64 {
+                            unreachable!("remapping an existing leaf allocates nothing")
+                        };
+                        state.table.map(npa_page, new_fam, flags, &mut alloc);
+                        for pair in &mut state.owned_pages {
+                            if *pair == (npa_page, old_fam) {
+                                pair.1 = new_fam;
+                            }
+                        }
+                        self.acm.clear(old_fam);
+                        self.acm.set_owner(new_fam, node, flags);
+                        report.acm_writes += 2;
+                        report.pages_evacuated += 1;
+                        report.bytes_copied += PAGE_BYTES;
+                        relocations.push(PageRelocation {
+                            node,
+                            npa_page,
+                            old_fam_page: old_fam,
+                            new_fam_page: Some(new_fam),
+                        });
+                    }
+                    None => {
+                        state.table.unmap(npa_page);
+                        state.owned_pages.retain(|&p| p != (npa_page, old_fam));
+                        self.acm.clear(old_fam);
+                        report.acm_writes += 1;
+                        report.pages_lost += 1;
+                        relocations.push(PageRelocation {
+                            node,
+                            npa_page,
+                            old_fam_page: old_fam,
+                            new_fam_page: None,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Shared-segment pages: one data fate per page, one mapping
+        // rewrite per member.
+        for seg_idx in 0..self.shared_segments.len() {
+            let segment = self.shared_segments[seg_idx].clone();
+            for (i, old_fam) in segment.fam_pages().enumerate() {
+                if !quarantine.contains(old_fam) {
+                    continue;
+                }
+                let replacement = if evacuable {
+                    self.take_page().ok()
+                } else {
+                    None
+                };
+                match replacement {
+                    Some(new_fam) => {
+                        self.acm.set_shared(new_fam, PtFlags::ro());
+                        report.acm_writes += 1;
+                        report.pages_evacuated += 1;
+                        report.bytes_copied += PAGE_BYTES;
+                        let new_region = new_fam * PAGE_BYTES / REGION_BYTES;
+                        for &(member, flags, npa_start) in &segment.members {
+                            self.acm.grant_shared(new_region, member, flags);
+                            report.acm_writes += 1;
+                            let npa_page = npa_start + i as u64;
+                            let state = &mut self.nodes[member.index()];
+                            let mut alloc = |_level: usize| -> u64 {
+                                unreachable!("remapping an existing leaf allocates nothing")
+                            };
+                            state.table.map(npa_page, new_fam, flags, &mut alloc);
+                            relocations.push(PageRelocation {
+                                node: member,
+                                npa_page,
+                                old_fam_page: old_fam,
+                                new_fam_page: Some(new_fam),
+                            });
+                        }
+                    }
+                    None => {
+                        self.acm.clear(old_fam);
+                        report.acm_writes += 1;
+                        report.pages_lost += 1;
+                        for &(member, _, npa_start) in &segment.members {
+                            let npa_page = npa_start + i as u64;
+                            self.nodes[member.index()].table.unmap(npa_page);
+                            relocations.push(PageRelocation {
+                                node: member,
+                                npa_page,
+                                old_fam_page: old_fam,
+                                new_fam_page: None,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Table pages: always rebuildable, relocated in place so every
+        // later walk reads surviving addresses.
+        for node_idx in 0..self.nodes.len() {
+            let doomed: Vec<u64> = self.nodes[node_idx]
+                .table
+                .table_page_addrs()
+                .filter(|&addr| quarantine.contains(addr / PAGE_BYTES))
+                .collect();
+            for old_base in doomed {
+                // Capacity exhaustion here would leave the table
+                // unreadable; in practice table pages are a tiny
+                // fraction of the pool, and the refill filter already
+                // excludes quarantined pages.
+                let new_page = self.take_page()?;
+                self.nodes[node_idx]
+                    .table
+                    .relocate_table_page(old_base, new_page * PAGE_BYTES);
+                report.table_pages_rebuilt += 1;
+                report.bytes_copied += PAGE_BYTES;
+                // Announce the rebuild as a relocation too, so in-flight
+                // walks that already read the old address can redirect
+                // instead of surfacing rebuildable metadata as loss.
+                // The sentinel NPA can never collide with a real
+                // mapping, so shootdowns keyed on NPAs ignore it.
+                relocations.push(PageRelocation {
+                    node: NodeId::new(node_idx as u16),
+                    npa_page: u64::MAX,
+                    old_fam_page: old_base / PAGE_BYTES,
+                    new_fam_page: Some(new_page),
+                });
+            }
+        }
+
+        Ok((report, relocations))
     }
 
     /// Frees a previously demand-mapped page: clears ACM and removes
@@ -577,6 +850,134 @@ mod tests {
         assert!(!b.check_access(from, p1, AccessKind::Read));
         assert_eq!(b.translate(to, 10).unwrap().target_page, p0);
         assert_eq!(b.translate(from, 10), None);
+    }
+
+    #[test]
+    fn migration_carries_shared_segment_memberships() {
+        let mut b = small_broker();
+        let from = b.register_node().unwrap();
+        let to = b.register_node().unwrap();
+        let other = b.register_node().unwrap();
+        b.demand_map(from, 10).unwrap();
+        let seg = b
+            .share_segment(
+                8,
+                &[
+                    (from, PtFlags::rw(), 0x9000),
+                    (other, PtFlags::ro(), 0xA000),
+                ],
+            )
+            .unwrap();
+        let report = b.migrate_node(from, to).unwrap();
+        assert_eq!(report.pages_moved, 1);
+        assert_eq!(
+            report.shared_pages_moved, 8,
+            "the shared membership must migrate, not be silently dropped"
+        );
+        assert_eq!(report.translation_invalidations, 1 + 8);
+        // The new node sees the segment under the old NPAs with the old
+        // rights; the old node has lost both mapping and rights.
+        assert_eq!(b.translate(to, 0x9000).unwrap().target_page, seg.first_page);
+        assert_eq!(b.translate(from, 0x9000), None);
+        assert!(b.check_access(to, seg.first_page, AccessKind::Write));
+        assert!(!b.check_access(from, seg.first_page, AccessKind::Read));
+        // The uninvolved member is untouched.
+        assert!(b.check_access(other, seg.first_page, AccessKind::Read));
+        assert_eq!(
+            b.translate(other, 0xA000).unwrap().target_page,
+            seg.first_page
+        );
+        // The member record now names the new node.
+        let members = &b.shared_segments()[0].members;
+        assert!(members.iter().any(|&(n, _, _)| n == to));
+        assert!(!members.iter().any(|&(n, _, _)| n == from));
+    }
+
+    #[test]
+    fn evacuation_relocates_reachable_pages_and_reports_them() {
+        let mut b = small_broker();
+        let n = b.register_node().unwrap();
+        let pages: Vec<u64> = (0..50).map(|i| b.demand_map(n, i).unwrap()).collect();
+        let quarantine = Quarantine::Module {
+            index: 1,
+            stride: 4,
+        };
+        let doomed: Vec<u64> = pages.iter().copied().filter(|p| p % 4 == 1).collect();
+        assert!(!doomed.is_empty(), "the stride must hit some allocations");
+        let (report, relocations) = b.quarantine_and_evacuate(quarantine, true).unwrap();
+        assert_eq!(report.pages_evacuated, doomed.len() as u64);
+        assert_eq!(report.pages_lost, 0, "a severed link loses no data");
+        assert_eq!(report.bytes_copied % PAGE_BYTES, 0);
+        assert!(report.capacity_pages_lost > 0);
+        // Data relocations carry the real NPA; rebuilt table pages ride
+        // along under the sentinel NPA so in-flight walks can redirect.
+        let (table_moves, data_moves): (Vec<&PageRelocation>, Vec<&PageRelocation>) =
+            relocations.iter().partition(|r| r.npa_page == u64::MAX);
+        assert_eq!(data_moves.len(), doomed.len());
+        assert_eq!(table_moves.len(), report.table_pages_rebuilt as usize);
+        for r in table_moves {
+            assert!(r.new_fam_page.is_some(), "tables are always rebuildable");
+        }
+        for r in data_moves {
+            let new_fam = r.new_fam_page.expect("evacuable pages relocate");
+            assert!(!quarantine.contains(new_fam), "destination must survive");
+            assert_eq!(b.translate(n, r.npa_page).unwrap().target_page, new_fam);
+            assert!(b.check_access(n, new_fam, AccessKind::Read));
+            assert!(!b.check_access(n, r.old_fam_page, AccessKind::Read));
+        }
+        // Future allocations never land on quarantined pages.
+        for i in 100..200 {
+            let p = b.demand_map(n, i).unwrap();
+            assert!(!quarantine.contains(p));
+        }
+    }
+
+    #[test]
+    fn dead_node_loses_pages_and_unmaps_them() {
+        let mut b = small_broker();
+        let n = b.register_node().unwrap();
+        for i in 0..50 {
+            b.demand_map(n, i).unwrap();
+        }
+        let quarantine = Quarantine::Module {
+            index: 0,
+            stride: 4,
+        };
+        let (report, relocations) = b.quarantine_and_evacuate(quarantine, false).unwrap();
+        assert_eq!(report.pages_evacuated, 0);
+        assert!(report.pages_lost > 0, "a dead module destroys data");
+        for r in &relocations {
+            assert_eq!(r.new_fam_page, None);
+            assert_eq!(
+                b.translate(n, r.npa_page),
+                None,
+                "lost mappings are removed so a re-touch demand-faults"
+            );
+        }
+        // A re-touch of a lost NPA maps a fresh, surviving page.
+        let lost_npa = relocations[0].npa_page;
+        let fresh = b.demand_map(n, lost_npa).unwrap();
+        assert!(!quarantine.contains(fresh));
+    }
+
+    #[test]
+    fn evacuation_rebuilds_table_pages_on_failed_media() {
+        let mut b = small_broker();
+        let n = b.register_node().unwrap();
+        b.demand_map(n, 42).unwrap();
+        // Quarantine exactly the pages holding the node's table, as a
+        // media-failure range; the broker must rebuild them.
+        let table_page = b.system_table(n).unwrap().root_addr() / PAGE_BYTES;
+        let quarantine = Quarantine::Range {
+            first_page: table_page,
+            pages: 1,
+        };
+        let (report, _) = b.quarantine_and_evacuate(quarantine, false).unwrap();
+        assert_eq!(report.table_pages_rebuilt, 1);
+        let rebuilt_root = b.system_table(n).unwrap().root_addr() / PAGE_BYTES;
+        assert!(!quarantine.contains(rebuilt_root));
+        // The logical mapping survived the rebuild.
+        assert!(b.translate(n, 42).is_some());
     }
 
     #[test]

@@ -11,6 +11,54 @@ pub const BITMAP_BITS: u64 = 64 * 1024;
 /// Bytes per region bitmap.
 pub const BITMAP_BYTES: u64 = BITMAP_BITS / 8;
 
+/// Which usable FAM pages are permanently off-limits after a failure.
+///
+/// Pages interleave page-granular across the pool's modules, so a
+/// whole-module failure quarantines every `stride`-th page; a media
+/// failure quarantines a contiguous page range. Membership is pure
+/// arithmetic — no allocation, no lookup structure — which is what
+/// lets the quarantine live inside the `Copy` [`FamLayout`] and be
+/// consulted on the data path for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Quarantine {
+    /// Nothing quarantined (the healthy default).
+    #[default]
+    None,
+    /// Every page `p` with `p % stride == index`: module `index` of a
+    /// `stride`-module interleaved pool is gone.
+    Module {
+        /// The failed module's index.
+        index: usize,
+        /// Number of modules pages interleave across.
+        stride: usize,
+    },
+    /// The contiguous pages `first_page .. first_page + pages`.
+    Range {
+        /// First quarantined FAM page.
+        first_page: u64,
+        /// Number of quarantined pages.
+        pages: u64,
+    },
+}
+
+impl Quarantine {
+    /// Whether FAM page `page` is quarantined.
+    pub fn contains(&self, page: u64) -> bool {
+        match *self {
+            Quarantine::None => false,
+            Quarantine::Module { index, stride } => page % stride as u64 == index as u64,
+            Quarantine::Range { first_page, pages } => {
+                page >= first_page && page < first_page + pages
+            }
+        }
+    }
+
+    /// Whether any page at all is quarantined.
+    pub fn is_active(&self) -> bool {
+        *self != Quarantine::None
+    }
+}
+
 /// The carve-up of a FAM module's physical space (Fig. 5): a usable
 /// region, followed by the per-page access-control metadata, followed
 /// by the per-1 GB sharing bitmaps.
@@ -37,6 +85,7 @@ pub struct FamLayout {
     usable_bytes: u64,
     acm_base: u64,
     bitmap_base: u64,
+    quarantine: Quarantine,
 }
 
 impl FamLayout {
@@ -70,6 +119,7 @@ impl FamLayout {
                     usable_bytes: usable,
                     acm_base,
                     bitmap_base,
+                    quarantine: Quarantine::None,
                 };
             }
             usable_pages -= 1;
@@ -149,6 +199,42 @@ impl FamLayout {
     /// Metadata overhead as a fraction of total capacity.
     pub fn metadata_overhead(&self) -> f64 {
         (self.total_bytes - self.usable_bytes) as f64 / self.total_bytes as f64
+    }
+
+    /// The quarantine in force.
+    pub fn quarantine(&self) -> Quarantine {
+        self.quarantine
+    }
+
+    /// Installs a quarantine. Recovery installs exactly one per run;
+    /// installing `Quarantine::None` lifts it (tests only).
+    pub fn set_quarantine(&mut self, quarantine: Quarantine) {
+        self.quarantine = quarantine;
+    }
+
+    /// Whether the page containing `addr` is permanently off-limits.
+    pub fn is_quarantined(&self, addr: FamAddr) -> bool {
+        self.quarantine.contains(addr.page())
+    }
+
+    /// Number of *usable* pages the quarantine removes from service.
+    pub fn quarantined_pages(&self) -> u64 {
+        let usable = self.usable_pages();
+        match self.quarantine {
+            Quarantine::None => 0,
+            Quarantine::Module { index, stride } => {
+                let (index, stride) = (index as u64, stride as u64);
+                if index < usable {
+                    (usable - index).div_ceil(stride)
+                } else {
+                    0
+                }
+            }
+            Quarantine::Range { first_page, pages } => {
+                let end = (first_page + pages).min(usable);
+                end.saturating_sub(first_page.min(usable))
+            }
+        }
     }
 }
 
@@ -241,5 +327,47 @@ mod tests {
     #[should_panic(expected = "page-aligned")]
     fn unaligned_size_rejected() {
         let _ = FamLayout::new((16 << 30) + 1, AcmWidth::W16);
+    }
+
+    #[test]
+    fn quarantine_membership_is_arithmetic() {
+        let module = Quarantine::Module {
+            index: 2,
+            stride: 4,
+        };
+        assert!(module.contains(2));
+        assert!(module.contains(6));
+        assert!(!module.contains(3));
+        let range = Quarantine::Range {
+            first_page: 10,
+            pages: 5,
+        };
+        assert!(range.contains(10));
+        assert!(range.contains(14));
+        assert!(!range.contains(15));
+        assert!(!Quarantine::None.contains(0));
+        assert!(!Quarantine::None.is_active());
+        assert!(module.is_active() && range.is_active());
+    }
+
+    #[test]
+    fn layout_quarantine_counts_usable_pages_only() {
+        let mut l = layout16();
+        assert_eq!(l.quarantined_pages(), 0);
+        assert!(!l.is_quarantined(FamAddr(0)));
+        l.set_quarantine(Quarantine::Module {
+            index: 1,
+            stride: 4,
+        });
+        let usable = l.usable_pages();
+        assert_eq!(l.quarantined_pages(), (usable - 1).div_ceil(4));
+        assert!(l.is_quarantined(FamAddr(PAGE_BYTES)));
+        assert!(!l.is_quarantined(FamAddr(0)));
+        // A range clipped by the end of the usable region.
+        l.set_quarantine(Quarantine::Range {
+            first_page: usable - 3,
+            pages: 100,
+        });
+        assert_eq!(l.quarantined_pages(), 3);
     }
 }

@@ -36,6 +36,9 @@ mod layout;
 mod logical;
 
 pub use acm::{AccessKind, AcmEntry, AcmStore, AcmWidth};
-pub use broker::{BrokerConfig, BrokerError, MemoryBroker, MigrationReport, SharedSegment};
-pub use layout::FamLayout;
+pub use broker::{
+    BrokerConfig, BrokerError, EvacuationReport, MemoryBroker, MigrationReport, PageRelocation,
+    SharedSegment,
+};
+pub use layout::{FamLayout, Quarantine};
 pub use logical::{JobId, LogicalNodeMap};

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! deact-sim run <benchmark> [--scheme E-FAM|I-FAM|DeACT-W|DeACT-N]
-//!                           [--refs N] [--nodes N] [--fabric-ns N]
-//!                           [--stu-entries N] [--seed N]
+//!                           [--refs N] [--nodes N] [--fam-modules N]
+//!                           [--fabric-ns N] [--stu-entries N] [--seed N]
 //!                           [--fault-profile transient[:seed]]
+//!                           [--kill-node <module>@<nth-fam-op>]
 //!                           [--sim-threads N]
 //! deact-sim compare <benchmark> [--refs N] [--jobs N]
 //!                               [--sim-threads N]      # all four schemes
@@ -38,14 +39,14 @@
 use std::process::ExitCode;
 
 use deact::{try_run_benchmark_threads, RunReport, Scheme, System, SystemConfig};
-use fam_sim::{trace::write_chrome_trace, FaultConfig, TraceConfig};
+use fam_sim::{trace::write_chrome_trace, FaultConfig, PersistentFault, TraceConfig};
 use fam_workloads::{table3, Workload};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  deact-sim run <benchmark> [--scheme S] [--refs N] [--nodes N] \
-         [--fabric-ns N] [--stu-entries N] [--seed N] \
-         [--fault-profile transient[:seed]] [--sim-threads N]\n  \
+         [--fam-modules N] [--fabric-ns N] [--stu-entries N] [--seed N] \
+         [--fault-profile transient[:seed]] [--kill-node M@OP] [--sim-threads N]\n  \
          deact-sim compare <benchmark> [--refs N] [--jobs N] [--sim-threads N]\n  \
          deact-sim trace [<benchmark>] [--out trace.json] [--window N] [--ring N] \
          [plus any `run` flag]\n  deact-sim list\n\n\
@@ -54,7 +55,10 @@ fn usage() -> ExitCode {
          *inside* one run (intra-run, default DEACT_SIM_THREADS else 1 = \
          sequential).\n  They compose; compare caps jobs x sim-threads at the \
          host's available parallelism.\n  Reports are bit-identical at any \
-         setting of either knob."
+         setting of either knob.\n\n\
+         chaos: --kill-node M@OP permanently kills FAM module M at the OP-th \
+         FAM operation;\n  the run survives degraded and the report gains a \
+         perm-failure block."
     );
     ExitCode::FAILURE
 }
@@ -80,6 +84,17 @@ fn parse_fault_profile(s: &str) -> Option<FaultConfig> {
         "off" | "none" => Some(FaultConfig::disabled()),
         _ => None,
     }
+}
+
+/// Parses `--kill-node <module>@<nth-fam-op>`: permanently kill FAM
+/// module `module` once the injector has seen that many FAM
+/// operations. Composes with (and implies) fault injection: the
+/// persistent schedule is layered onto whatever `--fault-profile`
+/// selected, so `--fault-profile transient --kill-node 1@500` runs the
+/// full chaos mix.
+fn parse_kill_node(s: &str) -> Option<(usize, u64)> {
+    let (module, after) = s.split_once('@')?;
+    Some((module.parse().ok()?, after.parse().ok()?))
 }
 
 /// Splits `--jobs N` out of the argument list (it is a harness knob,
@@ -160,12 +175,44 @@ fn apply_flags(mut cfg: SystemConfig, args: &[String]) -> Option<SystemConfig> {
             "--scheme" => cfg.with_scheme(parse_scheme(value)?),
             "--refs" => cfg.with_refs_per_core(value.parse().ok()?),
             "--nodes" => cfg.with_nodes(value.parse().ok()?),
+            "--fam-modules" => cfg.with_fam_modules(value.parse().ok()?),
             "--fabric-ns" => cfg.with_fabric_latency_ns(value.parse().ok()?),
             "--stu-entries" => cfg.with_stu_entries(value.parse().ok()?),
             "--seed" => cfg.with_seed(value.parse().ok()?),
-            "--fault-profile" => cfg.with_fault_injection(parse_fault_profile(value)?),
+            "--fault-profile" => {
+                // Layer, don't clobber: an earlier `--kill-node`
+                // survives a later `--fault-profile` (and vice versa —
+                // `--kill-node` builds on the current config).
+                let mut profile = parse_fault_profile(value)?;
+                if let Some(schedule) = cfg.fault_injection.persistent {
+                    profile = profile.with_persistent(schedule.fault, schedule.after_fam_ops);
+                }
+                cfg.with_fault_injection(profile)
+            }
+            "--kill-node" => {
+                let (module, after) = parse_kill_node(value)?;
+                let layered = cfg
+                    .fault_injection
+                    .with_persistent(PersistentFault::NodeDead { module }, after);
+                cfg.with_fault_injection(layered)
+            }
             _ => return None,
         };
+    }
+    // Catch an out-of-range `--kill-node` here, where both flags are
+    // known, so the user gets a one-line error instead of the config
+    // validator's panic.
+    if let Some(schedule) = cfg.fault_injection.persistent {
+        if let Some(module) = schedule.fault.module() {
+            if module >= cfg.fam_modules {
+                eprintln!(
+                    "deact-sim: --kill-node names FAM module {module}, but only {} exist \
+                     (raise --fam-modules)",
+                    cfg.fam_modules
+                );
+                return None;
+            }
+        }
     }
     Some(cfg)
 }
@@ -232,6 +279,28 @@ fn print_report(r: &RunReport) {
             f.backoff_cycles,
             f.link_down_wait_cycles,
             f.stu_stall_cycles
+        );
+    }
+    if !r.degradation.is_zero() {
+        let d = &r.degradation;
+        println!(
+            "perm. failure    {} pages quarantined: {} evacuated, {} lost, \
+             {} table pages rebuilt",
+            d.pages_quarantined, d.pages_evacuated, d.pages_lost, d.table_pages_rebuilt
+        );
+        println!(
+            "recovery         started @ cycle {}, took {} cy \
+             ({} cy evacuation, {} cy shootdown, {} entries invalidated)",
+            d.recovery_started_cycle,
+            d.recovery_cycles,
+            d.evacuation_cycles,
+            d.shootdown_cycles,
+            d.shootdown_invalidations
+        );
+        println!(
+            "degraded mode    {} poisoned accesses, {} PTEs healed, \
+             {} writebacks dropped, {} usable pages remain",
+            d.poisoned_accesses, d.pte_rewrites, d.writebacks_dropped, d.capacity_pages_remaining
         );
     }
 }

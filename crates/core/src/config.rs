@@ -119,6 +119,15 @@ pub struct SystemConfig {
     /// Retry/timeout/backoff policy the nodes use to recover from
     /// injected faults.
     pub retry: RetryConfig,
+    /// Management-path copy bandwidth, in bytes per core cycle, charged
+    /// on the simulated clock while the broker evacuates still-reachable
+    /// pages off quarantined FAM (a persistent [`fam_sim::PersistentFault`]).
+    pub evacuation_bytes_per_cycle: u64,
+    /// When `true`, the first access that reads data a permanent
+    /// failure destroyed surfaces as [`crate::SimError::DataLoss`]
+    /// instead of a counted poisoned access; the run stops rather than
+    /// continuing degraded.
+    pub halt_on_data_loss: bool,
     /// Request-lifecycle tracing (event ring, latency breakdown,
     /// windowed time series). Disabled by default — like
     /// `fault_injection`, a disabled tracer is a zero-cost no-op and
@@ -164,6 +173,8 @@ impl SystemConfig {
             seed: 0xDEAC7,
             fault_injection: FaultConfig::disabled(),
             retry: RetryConfig::default(),
+            evacuation_bytes_per_cycle: 64,
+            halt_on_data_loss: false,
             trace: TraceConfig::disabled(),
         }
     }
@@ -296,6 +307,22 @@ impl SystemConfig {
         self
     }
 
+    /// Sets the evacuation bandwidth in bytes per core cycle (see
+    /// [`SystemConfig::evacuation_bytes_per_cycle`]).
+    #[must_use]
+    pub fn with_evacuation_bandwidth(mut self, bytes_per_cycle: u64) -> SystemConfig {
+        self.evacuation_bytes_per_cycle = bytes_per_cycle;
+        self
+    }
+
+    /// Makes data loss fatal (see
+    /// [`SystemConfig::halt_on_data_loss`]).
+    #[must_use]
+    pub fn with_halt_on_data_loss(mut self, on: bool) -> SystemConfig {
+        self.halt_on_data_loss = on;
+        self
+    }
+
     /// Sets the tracing configuration (see [`TraceConfig`]).
     #[must_use]
     pub fn with_trace(mut self, trace: TraceConfig) -> SystemConfig {
@@ -355,6 +382,19 @@ impl SystemConfig {
             "local fraction must be a probability"
         );
         assert!(self.issue_width > 0, "issue width must be non-zero");
+        assert!(
+            self.evacuation_bytes_per_cycle > 0,
+            "evacuation bandwidth must be non-zero"
+        );
+        if let Some(schedule) = self.fault_injection.persistent {
+            if let Some(module) = schedule.fault.module() {
+                assert!(
+                    module < self.fam_modules,
+                    "persistent fault names FAM module {module}, but only {} exist",
+                    self.fam_modules
+                );
+            }
+        }
         self.fault_injection.validate();
         self.retry.validate();
     }
@@ -460,6 +500,30 @@ mod tests {
                 drop_prob: 7.0,
                 ..FaultConfig::disabled()
             })
+            .validate();
+    }
+
+    #[test]
+    fn evacuation_and_data_loss_knobs_compose() {
+        let c = SystemConfig::paper_default()
+            .with_evacuation_bandwidth(128)
+            .with_halt_on_data_loss(true);
+        assert_eq!(c.evacuation_bytes_per_cycle, 128);
+        assert!(c.halt_on_data_loss);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "names FAM module")]
+    fn validate_rejects_killing_a_nonexistent_module() {
+        use fam_sim::PersistentFault;
+        SystemConfig::paper_default()
+            .with_fam_modules(2)
+            .with_fault_injection(FaultConfig::persistent_only(
+                1,
+                PersistentFault::NodeDead { module: 5 },
+                100,
+            ))
             .validate();
     }
 

@@ -83,6 +83,10 @@ pub struct FaultRecovery {
     pub nacks_corrupt: u64,
     /// Stale-translation NACKs received (DeACT `V`-flag rejections).
     pub nacks_stale: u64,
+    /// Unreachable-permanent NACKs received (persistent faults: dead
+    /// module, failed media, severed link). These never clear on
+    /// retry; the requester escalates to broker recovery instead.
+    pub nacks_unreachable: u64,
     /// Reissues performed by the retry state machine.
     pub retries: u64,
     /// Cycles spent waiting out exponential backoff.
@@ -136,12 +140,62 @@ impl FaultRecovery {
         self.timeouts += other.timeouts;
         self.nacks_corrupt += other.nacks_corrupt;
         self.nacks_stale += other.nacks_stale;
+        self.nacks_unreachable += other.nacks_unreachable;
         self.retries += other.retries;
         self.backoff_cycles += other.backoff_cycles;
         self.link_down_wait_cycles += other.link_down_wait_cycles;
         self.stu_stall_cycles += other.stu_stall_cycles;
         self.recovered += other.recovered;
         self.fatal += other.fatal;
+    }
+}
+
+/// What surviving a permanent failure cost: the broker-driven
+/// quarantine/evacuation/shootdown protocol's end-to-end accounting,
+/// the raw material of graceful-degradation curves.
+///
+/// All-zero (the [`Default`]) when no persistent fault was scheduled —
+/// the same zero-overhead-off contract as [`FaultRecovery`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Usable FAM pages the quarantine removed from service.
+    pub pages_quarantined: u64,
+    /// Data pages copied to surviving FAM over the management path.
+    pub pages_evacuated: u64,
+    /// Data pages destroyed with the failed hardware.
+    pub pages_lost: u64,
+    /// System-page-table interior pages the broker rebuilt.
+    pub table_pages_rebuilt: u64,
+    /// Cache entries invalidated by the broadcast shootdown (TLB +
+    /// STU + PTW-cache, every surviving node).
+    pub shootdown_invalidations: u64,
+    /// Cycles the shootdown broadcast cost on the simulated clock.
+    pub shootdown_cycles: u64,
+    /// Cycles spent copying evacuated pages at the configured
+    /// evacuation bandwidth.
+    pub evacuation_cycles: u64,
+    /// Cycle at which the escalation began (the first access that
+    /// exhausted its retry budget against the persistent fault).
+    pub recovery_started_cycle: u64,
+    /// Cycles from escalation to a fully recovered (degraded but
+    /// consistent) system — the time-to-recover metric.
+    pub recovery_cycles: u64,
+    /// Usable FAM pages remaining in service after the quarantine.
+    pub capacity_pages_remaining: u64,
+    /// Accesses that surfaced as poisoned (data loss) after recovery.
+    pub poisoned_accesses: u64,
+    /// E-FAM node PTEs lazily rewritten to evacuated locations at walk
+    /// time.
+    pub pte_rewrites: u64,
+    /// Dirty writebacks dropped because their target was quarantined.
+    pub writebacks_dropped: u64,
+}
+
+impl DegradationReport {
+    /// Whether the run survived without any permanent failure (the
+    /// disabled-schedule invariant).
+    pub fn is_zero(&self) -> bool {
+        *self == DegradationReport::default()
     }
 }
 
@@ -191,6 +245,9 @@ pub struct RunReport {
     /// Fault-injection and recovery accounting (all-zero when the
     /// injector is disabled).
     pub recovery: FaultRecovery,
+    /// Permanent-failure survival accounting (all-zero when no
+    /// persistent fault was scheduled).
+    pub degradation: DegradationReport,
     /// References simulated per core.
     pub refs_per_core: u64,
     /// Per-stage latency histograms, aggregated across nodes and
@@ -271,6 +328,7 @@ mod tests {
             dram_writes: 0,
             faults: 0,
             recovery: FaultRecovery::default(),
+            degradation: DegradationReport::default(),
             refs_per_core: 10,
             latency: LatencyBreakdown::default(),
         }
@@ -290,6 +348,17 @@ mod tests {
         assert!(r.is_zero());
         assert_eq!(r.injected_total(), 0);
         assert_eq!(r.recovery_rate(), 1.0, "no faults means perfect rate");
+    }
+
+    #[test]
+    fn degradation_defaults_to_zero() {
+        let d = DegradationReport::default();
+        assert!(d.is_zero());
+        let populated = DegradationReport {
+            pages_lost: 1,
+            ..DegradationReport::default()
+        };
+        assert!(!populated.is_zero());
     }
 
     #[test]

@@ -1,19 +1,21 @@
 //! The full-system model and simulation driver.
 
-use fam_broker::{AccessKind, BrokerConfig, MemoryBroker};
-use fam_fabric::packet::{Packet, PacketKind};
+use std::collections::BTreeMap;
+
+use fam_broker::{AccessKind, BrokerConfig, MemoryBroker, PageRelocation, Quarantine};
+use fam_fabric::packet::{Packet, PacketKind, RESPONSE_BYTES};
 use fam_fabric::Fabric;
 use fam_mem::{MemOpKind, NvmModel};
 use fam_sim::{
-    Cycle, Duration, FabricFault, FaultInjector, IndexedMinHeap, RequestId, Stage, TraceEvent,
-    Tracer, Track, WindowSample,
+    Cycle, Duration, FabricFault, FaultInjector, IndexedMinHeap, PersistentFault, RequestId, Stage,
+    TraceEvent, Tracer, Track, WindowSample,
 };
 use fam_stu::Stu;
-use fam_vm::{Pte, VirtAddr, PAGE_BYTES};
+use fam_vm::{NodeId, Pte, VirtAddr, PAGE_BYTES};
 use fam_workloads::{MemRef, RefStream, TraceGenerator, Workload};
 
 use crate::error::SimError;
-use crate::metrics::{FamTraffic, FaultRecovery, RunReport};
+use crate::metrics::{DegradationReport, FamTraffic, FaultRecovery, RunReport};
 use crate::node::{CoreState, Node, FAM_KEY_PAGE};
 use crate::translator::{RetryOutcome, RetryState};
 use crate::{Scheme, SystemConfig};
@@ -64,6 +66,27 @@ pub struct System {
     /// Request-lifecycle tracing; like the injector, a disabled tracer
     /// costs one branch per event site and nothing else.
     tracer: Tracer,
+    /// The FAM pages a scheduled persistent fault will destroy,
+    /// precomputed from the config ([`Quarantine::None`] when no
+    /// persistent fault is scheduled). Membership is pure arithmetic,
+    /// so the strike check costs one compare per FAM round trip.
+    pending_quarantine: Quarantine,
+    /// Whether the broker-led recovery protocol has already run — the
+    /// escalation state machine's Recovering → Degraded edge is
+    /// one-shot.
+    persistent_handled: bool,
+    /// What the permanent failure cost (all-zero until one strikes).
+    degradation: DegradationReport,
+    /// Where each quarantined FAM page's data went: `Some(new)` for a
+    /// page the broker evacuated, `None` for destroyed data. Fed by the
+    /// recovery protocol, consumed by the degraded-mode redirect and
+    /// the E-FAM lazy PTE heal.
+    moved: BTreeMap<u64, Option<u64>>,
+    /// `(node, npa_page) → old FAM page` for mappings the recovery
+    /// protocol removed because the data was destroyed — the first
+    /// re-walk of one of these is a poisoned access, not an ordinary
+    /// first touch.
+    lost: BTreeMap<(NodeId, u64), u64>,
     /// References retired by [`System::try_run_parallel`]'s node-local
     /// phase — the engine's parallel coverage. Diagnostics only; never
     /// part of the report (reports are engine-independent).
@@ -178,6 +201,23 @@ impl System {
             recovery: FaultRecovery::default(),
             frame_scratch: Vec::with_capacity(fam_fabric::packet::PACKET_BYTES),
             tracer: Tracer::new(config.trace, config.nodes),
+            pending_quarantine: match config.fault_injection.persistent {
+                None => Quarantine::None,
+                Some(schedule) => match schedule.fault {
+                    PersistentFault::NodeDead { module }
+                    | PersistentFault::LinkSevered { module } => Quarantine::Module {
+                        index: module,
+                        stride: config.fam_modules,
+                    },
+                    PersistentFault::MediaFailed { first_page, pages } => {
+                        Quarantine::Range { first_page, pages }
+                    }
+                },
+            },
+            persistent_handled: false,
+            degradation: DegradationReport::default(),
+            moved: BTreeMap::new(),
+            lost: BTreeMap::new(),
             local_phase_refs: 0,
             config,
         }
@@ -421,43 +461,55 @@ impl System {
             // front work — the common case on translation-hostile
             // workloads — run the phase inline, because spawning costs
             // more than the phase itself.
-            let mut local_nodes = 0usize;
-            if spawning_pays {
-                for node in &self.nodes {
-                    if has_local_front(node, horizon) {
-                        local_nodes += 1;
-                        if local_nodes >= 2 {
-                            break;
+            // Recovery safety gate: while a scheduled persistent fault
+            // is armed but not yet handled, the commit phase may run
+            // the broadcast shootdown, which mutates *other* cores'
+            // TLBs — state the node-local phase reads. Until the
+            // recovery protocol has run, nothing retires locally, so
+            // every reference flows through the commit phase's exact
+            // sequential order (the gate is evaluated once per epoch
+            // and is thread-count invariant, so bit-identity holds).
+            let recovery_pending =
+                self.injector.persistent_schedule().is_some() && !self.persistent_handled;
+            if !recovery_pending {
+                let mut local_nodes = 0usize;
+                if spawning_pays {
+                    for node in &self.nodes {
+                        if has_local_front(node, horizon) {
+                            local_nodes += 1;
+                            if local_nodes >= 2 {
+                                break;
+                            }
                         }
                     }
                 }
-            }
-            let phase_threads = if local_nodes >= 2 { threads } else { 1 };
-            let mut active: Vec<(usize, &mut Node, &mut Tracer)> = self
-                .nodes
-                .iter_mut()
-                .zip(shards.iter_mut())
-                .enumerate()
-                .filter(|(_, (node, _))| {
-                    node.cores
-                        .iter()
-                        .any(|core| core.pending.is_some_and(|p| p.ready < horizon))
-                })
-                .map(|(n, (node, shard))| (n, node, shard))
-                .collect();
-            let retired = fam_sim::scoped_map_mut(phase_threads, &mut active, |_, item| {
-                let (n, node, shard) = item;
-                node_local_phase(*n, node, shard, horizon, issue_width, refs)
-            });
-            let epoch_retired: u64 = retired.iter().sum();
-            self.local_phase_refs += epoch_retired;
-            if phase_threads > 1 {
-                spawned_epochs += 1;
-                spawned_refs += epoch_retired;
-                if spawned_epochs >= SPAWN_PROBE_EPOCHS
-                    && spawned_refs < MIN_LOCAL_REFS_PER_SPAWN * spawned_epochs
-                {
-                    spawning_pays = false;
+                let phase_threads = if local_nodes >= 2 { threads } else { 1 };
+                let mut active: Vec<(usize, &mut Node, &mut Tracer)> = self
+                    .nodes
+                    .iter_mut()
+                    .zip(shards.iter_mut())
+                    .enumerate()
+                    .filter(|(_, (node, _))| {
+                        node.cores
+                            .iter()
+                            .any(|core| core.pending.is_some_and(|p| p.ready < horizon))
+                    })
+                    .map(|(n, (node, shard))| (n, node, shard))
+                    .collect();
+                let retired = fam_sim::scoped_map_mut(phase_threads, &mut active, |_, item| {
+                    let (n, node, shard) = item;
+                    node_local_phase(*n, node, shard, horizon, issue_width, refs)
+                });
+                let epoch_retired: u64 = retired.iter().sum();
+                self.local_phase_refs += epoch_retired;
+                if phase_threads > 1 {
+                    spawned_epochs += 1;
+                    spawned_refs += epoch_retired;
+                    if spawned_epochs >= SPAWN_PROBE_EPOCHS
+                        && spawned_refs < MIN_LOCAL_REFS_PER_SPAWN * spawned_epochs
+                    {
+                        spawning_pays = false;
+                    }
                 }
             }
 
@@ -567,7 +619,7 @@ impl System {
                             self.traffic.data_reads += 1;
                         }
                         let fam_byte = phys_byte - FAM_KEY_PAGE * PAGE_BYTES;
-                        self.fam_round_trip(n, completion, fam_byte, kind, req)
+                        self.fam_round_trip(n, completion, fam_byte, kind, req)?
                     }
                     Scheme::IFam => self.ifam_fam_access(
                         n,
@@ -664,10 +716,10 @@ impl System {
                     node.map_page(vaddr, &mut self.broker)
                         .map_err(|source| SimError::FamExhausted { node: n, source })?;
                 }
-                Some(pte) => {
+                Some(mut pte) => {
                     let walk_start = t;
                     for acc in &plan.accesses {
-                        t = self.pt_step_access(n, c, acc.entry_addr, t, req);
+                        t = self.pt_step_access(n, c, acc.entry_addr, t, req)?;
                     }
                     if self.tracer.is_enabled() && !plan.accesses.is_empty() {
                         self.tracer.record(TraceEvent {
@@ -677,6 +729,42 @@ impl System {
                             start: walk_start,
                             end: t,
                         });
+                    }
+                    // E-FAM lazy PTE heal: a walk surfacing a PTE that
+                    // names a quarantined FAM key repairs it in place
+                    // (the data was evacuated) or unmaps and refaults
+                    // (the data is gone — a counted poisoned access).
+                    if self.persistent_handled
+                        && self.config.scheme == Scheme::EFam
+                        && pte.target_page >= FAM_KEY_PAGE
+                    {
+                        match self.moved.get(&(pte.target_page - FAM_KEY_PAGE)).copied() {
+                            Some(Some(new_fam)) => {
+                                let mut alloc = |_level: usize| -> u64 {
+                                    unreachable!("rewriting an existing leaf allocates nothing")
+                                };
+                                self.nodes[n].page_table.map(
+                                    vpage,
+                                    FAM_KEY_PAGE + new_fam,
+                                    pte.flags,
+                                    &mut alloc,
+                                );
+                                pte.target_page = FAM_KEY_PAGE + new_fam;
+                                self.degradation.pte_rewrites += 1;
+                            }
+                            Some(None) => {
+                                self.degradation.poisoned_accesses += 1;
+                                if self.config.halt_on_data_loss {
+                                    return Err(SimError::DataLoss {
+                                        node: n,
+                                        fam_page: pte.target_page - FAM_KEY_PAGE,
+                                    });
+                                }
+                                self.nodes[n].page_table.unmap(vpage);
+                                continue;
+                            }
+                            None => {}
+                        }
                     }
                     self.nodes[n].cores[c].tlb.fill(vpage, pte);
                     return Ok((pte, t));
@@ -694,7 +782,7 @@ impl System {
         entry_addr: u64,
         t: Cycle,
         req: RequestId,
-    ) -> Cycle {
+    ) -> Result<Cycle, SimError> {
         let lookup = self.nodes[n].hierarchy.access(c, entry_addr / 64, false);
         let mut t = t + lookup.latency;
         if lookup.level.is_none() {
@@ -707,7 +795,7 @@ impl System {
                 );
                 self.traffic.at_pte_reads += 1;
                 let fam_byte = entry_addr - FAM_KEY_PAGE * PAGE_BYTES;
-                self.fam_round_trip(n, t, fam_byte, MemOpKind::Read, req)
+                self.fam_round_trip(n, t, fam_byte, MemOpKind::Read, req)?
             } else {
                 self.nodes[n].dram.access(t, entry_addr)
             };
@@ -715,7 +803,7 @@ impl System {
         if let Some(wb_line) = lookup.writeback {
             self.writeback(n, wb_line, t);
         }
-        t
+        Ok(t)
     }
 
     /// Selects the FAM module backing an address (page-interleaved).
@@ -723,10 +811,27 @@ impl System {
         ((fam_byte / PAGE_BYTES) % self.nvm.len() as u64) as usize
     }
 
+    /// Whether a scheduled persistent fault destroys the page holding
+    /// `fam_byte`. Only the usable data region is in the blast zone:
+    /// the Fig. 5 metadata regions (ACM, bitmaps) are broker-authored
+    /// and modeled as rebuilt from the broker's mirror for free.
+    fn persistent_strikes(&self, fam_byte: u64) -> bool {
+        let page = fam_byte / PAGE_BYTES;
+        page < self.broker.layout().usable_pages() && self.pending_quarantine.contains(page)
+    }
+
     /// A node↔FAM round trip for one block: fabric there, device
     /// service, fabric back. Every FAM request in every scheme funnels
     /// through here, so this is where injected fabric faults strike
     /// and where the retry/timeout/backoff machine recovers from them.
+    /// A *persistent* fault on the target page never heals under retry
+    /// and escalates into broker-led recovery instead
+    /// ([`System::persistent_path`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DataLoss`] when the access reads destroyed
+    /// data and the config sets `halt_on_data_loss`.
     fn fam_round_trip(
         &mut self,
         n: usize,
@@ -734,9 +839,13 @@ impl System {
         fam_byte: u64,
         kind: MemOpKind,
         req: RequestId,
-    ) -> Cycle {
+    ) -> Result<Cycle, SimError> {
         if !self.injector.is_enabled() {
-            return self.fam_round_trip_clean(n, t, fam_byte, kind, req);
+            return Ok(self.fam_round_trip_clean(n, t, fam_byte, kind, req));
+        }
+        self.injector.note_fam_op();
+        if self.injector.persistent_active().is_some() && self.persistent_strikes(fam_byte) {
+            return self.persistent_path(n, t, fam_byte, kind, req);
         }
         let mut t = t;
         let mut state = RetryState::for_request(req);
@@ -761,7 +870,7 @@ impl System {
                     if state.attempts() > 0 {
                         self.recovery.recovered += 1;
                     }
-                    return done;
+                    return Ok(done);
                 }
                 Some(FabricFault::Drop) => {
                     // The frame left the node (the link was occupied)
@@ -810,7 +919,7 @@ impl System {
                             // Unreachable with CRC-16 and a single-byte
                             // flip, but honesty demands the branch: an
                             // undetected corruption is a delivery.
-                            return self.fam_round_trip_clean(n, t, fam_byte, kind, req);
+                            return Ok(self.fam_round_trip_clean(n, t, fam_byte, kind, req));
                         }
                     }
                 }
@@ -836,10 +945,247 @@ impl System {
                     // but still completes so the run finishes and the
                     // damage is measurable instead of a crash.
                     self.recovery.fatal += 1;
-                    return self.fam_round_trip_clean(n, t, fam_byte, kind, req);
+                    return Ok(self.fam_round_trip_clean(n, t, fam_byte, kind, req));
                 }
             }
         }
+    }
+
+    /// One fabric round trip ending in an unreachable-NACK from the
+    /// failed endpoint's management plane (the data path is gone, the
+    /// enclosure still answers).
+    fn unreachable_nack(&mut self, n: usize, t: Cycle, req: RequestId) -> Cycle {
+        let arrival = self.fabric.node_to_fam(t, n);
+        let back = self.fabric.fam_to_node(arrival, n, RESPONSE_BYTES as u64);
+        self.recovery.nacks_unreachable += 1;
+        if self.tracer.is_enabled() {
+            self.tracer.record(TraceEvent {
+                req,
+                stage: Stage::Retry,
+                track: Track::Fabric(n as u16),
+                start: t,
+                end: back,
+            });
+        }
+        back
+    }
+
+    /// The persistent-fault arm of [`System::fam_round_trip`]: the
+    /// escalation state machine.
+    ///
+    /// * **Suspect** — the first access into the blast zone burns its
+    ///   full retry budget against unreachable-NACKs (a persistent
+    ///   fault never heals under retry).
+    /// * **Recovering** — budget exhausted: escalate into the one-shot
+    ///   broker-led recovery protocol
+    ///   ([`System::recover_from_persistent`]).
+    /// * **Degraded** — the system is consistent again. The escalating
+    ///   access (and any straggler still naming a quarantined page)
+    ///   either redirects to the page's evacuated home or fast-fails
+    ///   with a single unreachable-NACK as a counted poisoned access.
+    fn persistent_path(
+        &mut self,
+        n: usize,
+        t: Cycle,
+        fam_byte: u64,
+        kind: MemOpKind,
+        req: RequestId,
+    ) -> Result<Cycle, SimError> {
+        let mut t = t;
+        if !self.persistent_handled {
+            let mut state = RetryState::for_request(req);
+            loop {
+                t = self.unreachable_nack(n, t, req);
+                match state.on_fault(&self.config.retry) {
+                    RetryOutcome::Retry { backoff } => {
+                        self.recovery.retries += 1;
+                        self.recovery.backoff_cycles += backoff.0;
+                        if self.tracer.is_enabled() {
+                            self.tracer.record(TraceEvent {
+                                req,
+                                stage: Stage::Backoff,
+                                track: Track::Fabric(n as u16),
+                                start: t,
+                                end: t + backoff,
+                            });
+                        }
+                        t += backoff;
+                    }
+                    RetryOutcome::GiveUp => break,
+                }
+            }
+            t = self.recover_from_persistent(n, t, req)?;
+        }
+        let fam_page = fam_byte / PAGE_BYTES;
+        match self.moved.get(&fam_page).copied().flatten() {
+            Some(new_fam) => {
+                // The data survived on another module; the requester
+                // re-issues against the evacuated home.
+                Ok(self.fam_round_trip_clean(
+                    n,
+                    t,
+                    new_fam * PAGE_BYTES + fam_byte % PAGE_BYTES,
+                    kind,
+                    req,
+                ))
+            }
+            None => {
+                // Destroyed data (or a mapping recovery never knew
+                // about): fast-fail with one NACK and poison the
+                // access instead of panicking.
+                let back = self.unreachable_nack(n, t, req);
+                self.degradation.poisoned_accesses += 1;
+                if self.config.halt_on_data_loss {
+                    return Err(SimError::DataLoss { node: n, fam_page });
+                }
+                Ok(back)
+            }
+        }
+    }
+
+    /// The broker-led recovery protocol, run exactly once per run, on
+    /// the simulated clock of the access that escalated:
+    ///
+    /// 1. Quarantine the blast zone in the broker's [`FamLayout`] and
+    ///    evacuate still-reachable pages (link-severed modules keep a
+    ///    management path; dead nodes and failed media lose their
+    ///    data), charging the copy at the configured evacuation
+    ///    bandwidth.
+    /// 2. Broadcast a translation shootdown to every surviving node:
+    ///    stale TLB entries (E-FAM), STU and FAM-PTW cache entries, and
+    ///    in-DRAM translation-cache entries naming quarantined pages
+    ///    are invalidated, with per-entry latency accounting.
+    /// 3. Rebuild node-table pages that lived on the failed hardware
+    ///    (the broker authored every entry, so tables are always
+    ///    rebuildable).
+    ///
+    /// [`FamLayout`]: fam_broker::FamLayout
+    fn recover_from_persistent(
+        &mut self,
+        n: usize,
+        t: Cycle,
+        req: RequestId,
+    ) -> Result<Cycle, SimError> {
+        self.persistent_handled = true;
+        let started = t;
+        self.degradation.recovery_started_cycle = t.0;
+        let fault = self
+            .injector
+            .persistent_active()
+            .expect("recovery runs only on an active persistent fault");
+        let (evac, relocations) = self
+            .broker
+            .quarantine_and_evacuate(self.pending_quarantine, fault.evacuable())
+            .map_err(|source| SimError::FamExhausted { node: n, source })?;
+
+        // Evacuation rides the management path at a configured
+        // bandwidth; the protocol is stop-the-world on the simulated
+        // clock (every node waits for the broker's all-clear).
+        let evacuation_cycles = evac
+            .bytes_copied
+            .div_ceil(self.config.evacuation_bytes_per_cycle.max(1));
+        let mut t = t + Duration(evacuation_cycles);
+
+        for r in &relocations {
+            self.moved.entry(r.old_fam_page).or_insert(r.new_fam_page);
+            if r.new_fam_page.is_none() {
+                self.lost.insert((r.node, r.npa_page), r.old_fam_page);
+            }
+        }
+        let shootdown_start = t;
+        t += self.shootdown_all_nodes(&relocations);
+        if self.tracer.is_enabled() {
+            self.tracer.record(TraceEvent {
+                req,
+                stage: Stage::Fault,
+                track: Track::Fabric(n as u16),
+                start: started,
+                end: t,
+            });
+        }
+
+        let d = &mut self.degradation;
+        d.pages_quarantined = evac.capacity_pages_lost;
+        d.pages_evacuated = evac.pages_evacuated;
+        d.pages_lost = evac.pages_lost;
+        d.table_pages_rebuilt += evac.table_pages_rebuilt;
+        d.evacuation_cycles = evacuation_cycles;
+        d.shootdown_cycles = (t - shootdown_start).0;
+        d.capacity_pages_remaining = self.broker.layout().usable_pages() - evac.capacity_pages_lost;
+        d.recovery_cycles = (t - started).0;
+        Ok(t)
+    }
+
+    /// The broadcast translation shootdown: every surviving node drops
+    /// cached translations that name a quarantined FAM page. Returns
+    /// the simulated cost (one management round trip per node plus one
+    /// cycle per invalidated entry, serialized on the broker's
+    /// management port).
+    fn shootdown_all_nodes(&mut self, relocations: &[PageRelocation]) -> Duration {
+        let mut invalidations = 0u64;
+        let mut cost = Duration(0);
+        for m in 0..self.nodes.len() {
+            let node_id = self.nodes[m].id;
+            let mut node_invalidations = 0u64;
+            match self.config.scheme {
+                Scheme::EFam => {
+                    // E-FAM PTEs embed FAM keys, so stale entries sit in
+                    // the per-core TLBs; interior table pages the broker
+                    // re-homed are repointed eagerly (the lazy walk-time
+                    // heal covers leaf PTEs).
+                    let quarantine = self.pending_quarantine;
+                    for core in &mut self.nodes[m].cores {
+                        node_invalidations += core.tlb.invalidate_stale(|pte| {
+                            pte.target_page >= FAM_KEY_PAGE
+                                && quarantine.contains(pte.target_page - FAM_KEY_PAGE)
+                        }) as u64;
+                        core.ptw.flush();
+                    }
+                    for r in relocations {
+                        if r.node != node_id {
+                            continue;
+                        }
+                        if let Some(new_fam) = r.new_fam_page {
+                            if self.nodes[m].page_table.relocate_table_page(
+                                (FAM_KEY_PAGE + r.old_fam_page) * PAGE_BYTES,
+                                (FAM_KEY_PAGE + new_fam) * PAGE_BYTES,
+                            ) {
+                                self.degradation.table_pages_rebuilt += 1;
+                            }
+                        }
+                    }
+                }
+                Scheme::IFam => {
+                    // Coupled STU entries are keyed by the owning node's
+                    // NPA pages.
+                    let keys = relocations
+                        .iter()
+                        .filter(|r| r.node == node_id)
+                        .map(|r| r.npa_page);
+                    node_invalidations += self.stus[m].shootdown(keys);
+                }
+                Scheme::DeactW | Scheme::DeactN => {
+                    // ACM-organized STU entries are keyed by FAM page
+                    // (any node's STU may cache any page), and the
+                    // in-DRAM translation cache by this node's NPAs.
+                    let keys = relocations.iter().map(|r| r.old_fam_page);
+                    node_invalidations += self.stus[m].shootdown(keys);
+                    let tr = self.nodes[m]
+                        .translator
+                        .as_mut()
+                        .expect("DeACT nodes have a translator");
+                    for r in relocations {
+                        if r.node == node_id && tr.handle_stale_nack(r.npa_page) {
+                            node_invalidations += 1;
+                        }
+                    }
+                }
+            }
+            invalidations += node_invalidations;
+            cost = cost + self.router + self.router + Duration(node_invalidations);
+        }
+        self.degradation.shootdown_invalidations = invalidations;
+        cost
     }
 
     /// Encodes the request as its wire packet into the per-`System`
@@ -937,7 +1283,7 @@ impl System {
                     let mut tw = start;
                     for acc in &plan.accesses {
                         self.traffic.at_walk_reads += 1;
-                        tw = self.fam_round_trip(n, tw, acc.entry_addr, MemOpKind::Read, req);
+                        tw = self.fam_round_trip(n, tw, acc.entry_addr, MemOpKind::Read, req)?;
                     }
                     if self.tracer.is_enabled() && tw > start {
                         self.tracer.record(TraceEvent {
@@ -948,10 +1294,34 @@ impl System {
                             end: tw,
                         });
                     }
+                    // A walk whose entry reads escalated into recovery
+                    // planned against the pre-recovery table; its
+                    // mapping may name a page that no longer exists.
+                    // The walker re-walks the (now rewritten) table —
+                    // the raced shootdown's retry.
+                    if self.persistent_handled && self.persistent_strikes(fam_page * PAGE_BYTES) {
+                        t = tw;
+                        continue;
+                    }
                     self.walker_free[n] = tw;
                     return Ok((fam_page, tw));
                 }
                 Err(_) => {
+                    // A mapping the recovery protocol removed because
+                    // its data died with the hardware: the re-walk is a
+                    // poisoned access (the refault below hands back a
+                    // fresh page, not the lost bytes).
+                    if self.persistent_handled {
+                        if let Some(old_fam) = self.lost.remove(&(node_id, npa_page)) {
+                            self.degradation.poisoned_accesses += 1;
+                            if self.config.halt_on_data_loss {
+                                return Err(SimError::DataLoss {
+                                    node: n,
+                                    fam_page: old_fam,
+                                });
+                            }
+                        }
+                    }
                     // System-level fault: the STU asks the broker for
                     // a page (§II-C) and retries.
                     if self.tracer.is_enabled() {
@@ -1016,7 +1386,7 @@ impl System {
             MemOpKind::Read => self.traffic.data_reads += 1,
             MemOpKind::Write => self.traffic.data_writes += 1,
         }
-        let done = self.fam_round_trip(n, t, fam_page * PAGE_BYTES + offset, kind, req);
+        let done = self.fam_round_trip(n, t, fam_page * PAGE_BYTES + offset, kind, req)?;
         Ok(done + self.router) // response back through the router
     }
 
@@ -1147,10 +1517,10 @@ impl System {
             if let Some(acm_addr) = v.acm_fetch_addr {
                 let fetch_start = t;
                 self.traffic.at_acm_reads += 1;
-                t = self.fam_round_trip(n, t, acm_addr, MemOpKind::Read, req);
+                t = self.fam_round_trip(n, t, acm_addr, MemOpKind::Read, req)?;
                 if let Some(bitmap_addr) = v.bitmap_fetch_addr {
                     self.traffic.at_bitmap_reads += 1;
-                    t = self.fam_round_trip(n, t, bitmap_addr, MemOpKind::Read, req);
+                    t = self.fam_round_trip(n, t, bitmap_addr, MemOpKind::Read, req)?;
                 }
                 if self.tracer.is_enabled() {
                     self.tracer.record(TraceEvent {
@@ -1169,7 +1539,7 @@ impl System {
             MemOpKind::Read => self.traffic.data_reads += 1,
             MemOpKind::Write => self.traffic.data_writes += 1,
         }
-        let done = self.fam_round_trip(n, t, fam_page * PAGE_BYTES + offset, kind, req);
+        let done = self.fam_round_trip(n, t, fam_page * PAGE_BYTES + offset, kind, req)?;
 
         if kind == MemOpKind::Read {
             let tr = self.nodes[n].translator.as_mut().expect("checked above");
@@ -1189,13 +1559,35 @@ impl System {
                 _ => {
                     // The LLC holds node addresses; eviction reuses the
                     // system translation (hardware tags the line), so no
-                    // timing charge and no AT traffic.
+                    // timing charge and no AT traffic. A mapping the
+                    // recovery protocol removed has nowhere to land —
+                    // the dirty line dies with the hardware it named.
                     let Some(pte) = self.broker.translate(self.nodes[n].id, page) else {
+                        if self.persistent_handled {
+                            self.degradation.writebacks_dropped += 1;
+                        }
                         return;
                     };
                     pte.target_page * PAGE_BYTES + byte % PAGE_BYTES
                 }
             };
+            // A dirty line still tagged with a quarantined FAM address
+            // (E-FAM keys embed the page): the write follows evacuated
+            // data to its new home; with the data destroyed it is
+            // dropped — the target no longer exists.
+            let mut fam_byte = fam_byte;
+            if self.injector.is_enabled()
+                && self.injector.persistent_active().is_some()
+                && self.persistent_strikes(fam_byte)
+            {
+                match self.moved.get(&(fam_byte / PAGE_BYTES)).copied().flatten() {
+                    Some(new_fam) => fam_byte = new_fam * PAGE_BYTES + fam_byte % PAGE_BYTES,
+                    None => {
+                        self.degradation.writebacks_dropped += 1;
+                        return;
+                    }
+                }
+            }
             self.traffic.writebacks += 1;
             let module = self.module_of(fam_byte);
             let arrival = self.fabric.node_to_fam(at, n);
@@ -1266,6 +1658,7 @@ impl System {
             dram_writes: self.nodes.iter().map(|n| n.dram.writes()).sum(),
             faults: self.nodes.iter().map(|n| n.faults).sum(),
             recovery: self.recovery_report(),
+            degradation: self.degradation,
             refs_per_core: self.config.refs_per_core,
             latency: self.tracer.breakdown(),
         }
@@ -1718,6 +2111,108 @@ mod tests {
         let w = Workload::by_name("pf").unwrap();
         let streams = vec![vec![fam_workloads::RefStream::from(w.generator(0))]]; // 1 != 4
         let _ = System::with_streams(cfg, "bad", streams);
+    }
+
+    fn killed(scheme: Scheme, fault: PersistentFault) -> SystemConfig {
+        quick(scheme)
+            .with_nodes(2)
+            .with_fam_modules(2)
+            .with_refs_per_core(3_000)
+            .with_fault_injection(fam_sim::FaultConfig::persistent_only(11, fault, 500))
+    }
+
+    #[test]
+    fn node_death_survives_and_reports_degradation() {
+        for scheme in Scheme::ALL {
+            let r = run_benchmark(
+                "astar",
+                killed(scheme, PersistentFault::NodeDead { module: 1 }),
+            );
+            let d = r.degradation;
+            assert!(!d.is_zero(), "{scheme}: a killed module must register");
+            assert!(d.pages_quarantined > 0, "{scheme}");
+            assert_eq!(d.pages_evacuated, 0, "{scheme}: a dead node's data is gone");
+            assert!(d.pages_lost > 0, "{scheme}");
+            assert!(d.recovery_cycles > 0, "{scheme}");
+            assert!(
+                d.capacity_pages_remaining > 0,
+                "{scheme}: half the pool survives"
+            );
+            assert!(r.recovery.nacks_unreachable > 0, "{scheme}");
+            assert!(r.ipc > 0.0, "{scheme}: the run completed degraded");
+        }
+    }
+
+    #[test]
+    fn severed_link_evacuates_instead_of_losing() {
+        let r = run_benchmark(
+            "astar",
+            killed(Scheme::DeactN, PersistentFault::LinkSevered { module: 1 }),
+        );
+        let d = r.degradation;
+        assert!(d.pages_evacuated > 0, "the management path survives");
+        assert_eq!(d.pages_lost, 0, "a severed link loses no data");
+        assert_eq!(d.poisoned_accesses, 0, "nothing to poison");
+        assert!(d.evacuation_cycles > 0, "the copy is charged");
+    }
+
+    #[test]
+    fn failed_media_range_quarantines_exactly() {
+        let r = run_benchmark(
+            "astar",
+            killed(
+                Scheme::IFam,
+                PersistentFault::MediaFailed {
+                    first_page: 0,
+                    pages: 64,
+                },
+            ),
+        );
+        assert_eq!(r.degradation.pages_quarantined, 64);
+    }
+
+    #[test]
+    fn efam_heals_evacuated_ptes_lazily() {
+        let r = run_benchmark(
+            "astar",
+            killed(Scheme::EFam, PersistentFault::LinkSevered { module: 1 }),
+        );
+        assert!(
+            r.degradation.pte_rewrites > 0,
+            "walks repair FAM-key PTEs in place"
+        );
+        assert_eq!(r.degradation.pages_lost, 0);
+    }
+
+    #[test]
+    fn shootdown_invalidates_survivor_translations() {
+        let r = run_benchmark(
+            "astar",
+            killed(Scheme::DeactN, PersistentFault::NodeDead { module: 1 }),
+        );
+        assert!(
+            r.degradation.shootdown_invalidations > 0,
+            "warm STU/translator state covered the dead module"
+        );
+        assert!(r.degradation.shootdown_cycles > 0);
+    }
+
+    #[test]
+    fn halt_on_data_loss_surfaces_typed_error() {
+        let cfg = killed(Scheme::DeactN, PersistentFault::NodeDead { module: 1 })
+            .with_halt_on_data_loss(true);
+        let err = try_run_benchmark("astar", cfg).unwrap_err();
+        assert!(matches!(err, SimError::DataLoss { .. }), "got {err}");
+    }
+
+    #[test]
+    fn degraded_runs_are_engine_and_thread_invariant() {
+        let cfg = killed(Scheme::DeactN, PersistentFault::NodeDead { module: 0 });
+        let w = Workload::by_name("astar").unwrap();
+        let seq = System::new(cfg, &w).try_run().expect("sequential");
+        let par = System::new(cfg, &w).try_run_parallel(4).expect("parallel");
+        assert_eq!(seq, par, "recovery must not break bit-identity");
+        assert!(!seq.degradation.is_zero());
     }
 
     #[test]

@@ -61,17 +61,24 @@ pub enum Nack {
     /// The request (or its response) never arrived inside the timeout
     /// window — congestion or a dropped flit.
     Timeout,
+    /// The addressed FAM page is permanently unreachable (dead module,
+    /// failed media, severed link). Unlike every other NACK this one
+    /// never clears on retry: the fabric switch answers on the
+    /// module's behalf and the node must escalate to the memory
+    /// broker's recovery protocol instead of retrying.
+    Unreachable,
 }
 
 impl Nack {
     /// All NACK variants, for exhaustive tests and sweeps.
-    pub const ALL: [Nack; 3] = [Nack::Stale, Nack::Corrupt, Nack::Timeout];
+    pub const ALL: [Nack; 4] = [Nack::Stale, Nack::Corrupt, Nack::Timeout, Nack::Unreachable];
 
     fn code(self) -> u8 {
         match self {
             Nack::Stale => 0,
             Nack::Corrupt => 1,
             Nack::Timeout => 2,
+            Nack::Unreachable => 3,
         }
     }
 
@@ -80,8 +87,15 @@ impl Nack {
             0 => Nack::Stale,
             1 => Nack::Corrupt,
             2 => Nack::Timeout,
+            3 => Nack::Unreachable,
             _ => return None,
         })
+    }
+
+    /// Whether retrying the same request can ever succeed. The retry
+    /// state machine gives up immediately on non-retryable NACKs.
+    pub fn retryable(self) -> bool {
+        !matches!(self, Nack::Unreachable)
     }
 }
 
@@ -91,6 +105,7 @@ impl std::fmt::Display for Nack {
             Nack::Stale => "stale-translation",
             Nack::Corrupt => "corrupt-frame",
             Nack::Timeout => "timeout",
+            Nack::Unreachable => "unreachable-permanent",
         })
     }
 }

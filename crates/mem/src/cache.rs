@@ -283,6 +283,21 @@ impl<V> SetAssocCache<V> {
         removed
     }
 
+    /// Keeps only entries whose `(key, &value)` pair satisfies `pred`,
+    /// returning how many were removed. The value-aware twin of
+    /// [`SetAssocCache::invalidate_matching`], for shootdowns that
+    /// must match on cached payloads (e.g. PTEs naming quarantined
+    /// FAM frames rather than the virtual keys that index them).
+    pub fn retain(&mut self, mut pred: impl FnMut(u64, &V) -> bool) -> usize {
+        let mut removed = 0;
+        for set in &mut self.sets {
+            let before = set.len();
+            set.retain(|w| pred(w.key, &w.value));
+            removed += before - set.len();
+        }
+        removed
+    }
+
     /// Number of resident entries.
     pub fn len(&self) -> usize {
         self.sets.iter().map(Vec::len).sum()
@@ -354,6 +369,20 @@ mod tests {
 
     fn tiny(ways: usize, replacement: Replacement) -> SetAssocCache<u32> {
         SetAssocCache::new(CacheConfig::new(1, ways, replacement))
+    }
+
+    #[test]
+    fn retain_filters_on_values_and_counts_removals() {
+        let mut c = tiny(4, Replacement::Lru);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        let removed = c.retain(|_key, &v| v < 25);
+        assert_eq!(removed, 1, "only the value 30 fails the predicate");
+        assert_eq!(c.peek(1), Some(&10));
+        assert_eq!(c.peek(2), Some(&20));
+        assert_eq!(c.peek(3), None, "30 was shot down");
+        assert_eq!(c.len(), 2);
     }
 
     #[test]

@@ -34,6 +34,70 @@ pub enum FabricFault {
     Corrupt,
 }
 
+/// A fault that never heals, no matter how many times the requester
+/// retries. Where [`FabricFault`]s model a flaky wire, these model a
+/// dead one: the *virtual-memory* layer, not the retry loop, must
+/// absorb them (quarantine, evacuation, shootdown, degraded mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PersistentFault {
+    /// FAM module `module` dies outright. Both the data path and the
+    /// media are gone: every page the module backs is lost.
+    NodeDead {
+        /// Index of the dead module in the FAM pool.
+        module: usize,
+    },
+    /// A contiguous range of FAM pages fails at the media level
+    /// (uncorrectable NVM wear-out). The module stays reachable; only
+    /// the failed pages are lost.
+    MediaFailed {
+        /// First failed FAM page.
+        first_page: u64,
+        /// Number of consecutive failed pages.
+        pages: u64,
+    },
+    /// The fabric link to module `module` is severed for good. The
+    /// media is intact and the broker's management path still reaches
+    /// it, so pages can be *evacuated* to surviving modules — but the
+    /// data path never comes back.
+    LinkSevered {
+        /// Index of the unreachable module.
+        module: usize,
+    },
+}
+
+impl PersistentFault {
+    /// The module this fault takes off the data path, if it is a
+    /// whole-module fault.
+    pub fn module(&self) -> Option<usize> {
+        match *self {
+            PersistentFault::NodeDead { module } | PersistentFault::LinkSevered { module } => {
+                Some(module)
+            }
+            PersistentFault::MediaFailed { .. } => None,
+        }
+    }
+
+    /// Whether affected pages can still be copied out through the
+    /// broker's management path. Severed links strand reachable data;
+    /// dead nodes and failed media destroy it.
+    pub fn evacuable(&self) -> bool {
+        matches!(self, PersistentFault::LinkSevered { .. })
+    }
+}
+
+/// When a [`PersistentFault`] strikes: at the `after_fam_ops`-th FAM
+/// operation (1-based) counted at the injector. Counting operations —
+/// not cycles or references — keeps the strike point identical across
+/// the sequential and parallel engines, whose per-cycle interleavings
+/// legitimately differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistentSchedule {
+    /// The fault that strikes.
+    pub fault: PersistentFault,
+    /// The 1-based FAM-operation ordinal at which it strikes.
+    pub after_fam_ops: u64,
+}
+
 /// Injector knobs. The default is fully disabled and adds no cost.
 ///
 /// Probabilities are per *fabric traversal* (or per translator hit for
@@ -65,6 +129,10 @@ pub struct FaultConfig {
     pub link_down_period: u64,
     /// Cycles each link-down window lasts.
     pub link_down_cycles: u64,
+    /// An optional scheduled permanent failure. Unlike every other
+    /// knob it is not probabilistic: it strikes exactly once, at a
+    /// fixed FAM-operation ordinal, and never heals.
+    pub persistent: Option<PersistentSchedule>,
 }
 
 impl FaultConfig {
@@ -80,6 +148,7 @@ impl FaultConfig {
             stu_stall_cycles: 0,
             link_down_period: 0,
             link_down_cycles: 0,
+            persistent: None,
         }
     }
 
@@ -98,6 +167,35 @@ impl FaultConfig {
             stu_stall_cycles: 200,
             link_down_period: 2_000_000,
             link_down_cycles: 10_000,
+            persistent: None,
+        }
+    }
+
+    /// A persistent-fault-only profile: no transient noise, just
+    /// `fault` striking at the `after_fam_ops`-th FAM operation. Used
+    /// by the `--kill-node` CLI knob and the chaos sweep.
+    pub fn persistent_only(seed: u64, fault: PersistentFault, after_fam_ops: u64) -> FaultConfig {
+        FaultConfig {
+            enabled: true,
+            seed,
+            persistent: Some(PersistentSchedule {
+                fault,
+                after_fam_ops,
+            }),
+            ..FaultConfig::disabled()
+        }
+    }
+
+    /// Adds a scheduled persistent fault to this profile (enabling the
+    /// injector if it was off).
+    pub fn with_persistent(self, fault: PersistentFault, after_fam_ops: u64) -> FaultConfig {
+        FaultConfig {
+            enabled: true,
+            persistent: Some(PersistentSchedule {
+                fault,
+                after_fam_ops,
+            }),
+            ..self
         }
     }
 
@@ -126,6 +224,19 @@ impl FaultConfig {
                 self.link_down_cycles < self.link_down_period,
                 "link-down windows must be shorter than their period"
             );
+        }
+        if let Some(schedule) = self.persistent {
+            assert!(
+                self.enabled,
+                "a persistent fault requires the injector to be enabled"
+            );
+            assert!(
+                schedule.after_fam_ops >= 1,
+                "after_fam_ops is a 1-based ordinal"
+            );
+            if let PersistentFault::MediaFailed { pages, .. } = schedule.fault {
+                assert!(pages >= 1, "a media failure must cover at least one page");
+            }
         }
     }
 }
@@ -175,6 +286,10 @@ pub struct FaultInjector {
     config: FaultConfig,
     rng: SimRng,
     stats: FaultStats,
+    /// 1-based ordinal of FAM operations seen so far; drives the
+    /// persistent-fault schedule. Never advanced when no persistent
+    /// fault is configured.
+    fam_ops: u64,
 }
 
 /// Stateless 64-bit mix (SplitMix64 finalizer) for per-window jitter.
@@ -197,6 +312,7 @@ impl FaultInjector {
             rng: SimRng::seeded(config.seed ^ 0xFA_017),
             config,
             stats: FaultStats::default(),
+            fam_ops: 0,
         }
     }
 
@@ -300,6 +416,27 @@ impl FaultInjector {
         stale
     }
 
+    /// Advances the FAM-operation ordinal that drives the persistent
+    /// schedule. Call exactly once per FAM operation, in simulation
+    /// order; a no-op (and free) when no persistent fault is armed.
+    pub fn note_fam_op(&mut self) {
+        if self.config.persistent.is_some() {
+            self.fam_ops += 1;
+        }
+    }
+
+    /// The persistent fault now in force, if its strike ordinal has
+    /// been reached. Purely arithmetic — consumes no RNG state.
+    pub fn persistent_active(&self) -> Option<PersistentFault> {
+        let schedule = self.config.persistent?;
+        (self.fam_ops >= schedule.after_fam_ops).then_some(schedule.fault)
+    }
+
+    /// The armed persistent schedule, active or not.
+    pub fn persistent_schedule(&self) -> Option<PersistentSchedule> {
+        self.config.persistent
+    }
+
     /// Counts of faults injected so far.
     pub fn stats(&self) -> FaultStats {
         self.stats
@@ -396,6 +533,74 @@ mod tests {
         };
         let mut i = FaultInjector::new(cfg);
         assert_eq!(i.stu_stall(), Some(Duration(77)));
+    }
+
+    #[test]
+    fn persistent_schedule_is_ordinal_driven_and_rng_free() {
+        let fault = PersistentFault::NodeDead { module: 2 };
+        let mut i = FaultInjector::new(FaultConfig::persistent_only(9, fault, 3));
+        let before = i.rng.clone().next_u64();
+        assert_eq!(i.persistent_active(), None, "armed but not yet struck");
+        i.note_fam_op();
+        i.note_fam_op();
+        assert_eq!(i.persistent_active(), None, "ordinal 2 < strike point 3");
+        i.note_fam_op();
+        assert_eq!(i.persistent_active(), Some(fault), "strikes at ordinal 3");
+        i.note_fam_op();
+        assert_eq!(i.persistent_active(), Some(fault), "never heals");
+        // The persistent-only profile has zero transient probabilities,
+        // so the fabric path stays clean and consumes no RNG.
+        assert_eq!(i.fabric_fault(), None);
+        assert_eq!(i.rng.next_u64(), before, "no RNG state consumed");
+    }
+
+    #[test]
+    fn persistent_ordinal_never_advances_when_unarmed() {
+        let mut i = FaultInjector::new(FaultConfig::transient(4));
+        for _ in 0..100 {
+            i.note_fam_op();
+        }
+        assert_eq!(i.fam_ops, 0, "ordinal is free when nothing is armed");
+        assert_eq!(i.persistent_active(), None);
+    }
+
+    #[test]
+    fn persistent_fault_classification() {
+        let dead = PersistentFault::NodeDead { module: 1 };
+        let media = PersistentFault::MediaFailed {
+            first_page: 10,
+            pages: 4,
+        };
+        let severed = PersistentFault::LinkSevered { module: 1 };
+        assert_eq!(dead.module(), Some(1));
+        assert_eq!(media.module(), None);
+        assert_eq!(severed.module(), Some(1));
+        assert!(!dead.evacuable());
+        assert!(!media.evacuable());
+        assert!(severed.evacuable(), "management path survives a cut link");
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based ordinal")]
+    fn zero_strike_ordinal_rejected() {
+        FaultInjector::new(FaultConfig::persistent_only(
+            0,
+            PersistentFault::NodeDead { module: 0 },
+            0,
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "injector to be enabled")]
+    fn disabled_injector_with_persistent_fault_rejected() {
+        FaultInjector::new(FaultConfig {
+            enabled: false,
+            persistent: Some(PersistentSchedule {
+                fault: PersistentFault::LinkSevered { module: 0 },
+                after_fam_ops: 1,
+            }),
+            ..FaultConfig::disabled()
+        });
     }
 
     #[test]

@@ -61,7 +61,9 @@ mod window;
 
 pub use clock::{Cycle, Duration, Frequency};
 pub use event::EventQueue;
-pub use fault::{FabricFault, FaultConfig, FaultInjector, FaultStats};
+pub use fault::{
+    FabricFault, FaultConfig, FaultInjector, FaultStats, PersistentFault, PersistentSchedule,
+};
 pub use pool::{default_jobs, scoped_map, scoped_map_mut, ThreadPool};
 pub use queue::IndexedMinHeap;
 pub use resource::{BankedResource, Resource};

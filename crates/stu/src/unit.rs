@@ -303,6 +303,23 @@ impl Stu {
         self.ptw_cache.flush();
     }
 
+    /// Applies a permanent-failure shootdown: invalidates the cached
+    /// entry for every key page in the worklist (node pages for I-FAM,
+    /// FAM pages for DeACT) and flushes the FAM-PTW cache — relocated
+    /// table pages make every cached interior entry's address suspect.
+    /// Returns the number of invalidation operations performed (one
+    /// per key plus one for the PTW flush), the quantity the timing
+    /// layer charges per entry.
+    pub fn shootdown(&mut self, key_pages: impl IntoIterator<Item = u64>) -> u64 {
+        let mut ops = 0u64;
+        for key in key_pages {
+            self.cache.invalidate(key);
+            ops += 1;
+        }
+        self.ptw_cache.flush();
+        ops + 1
+    }
+
     /// ACM hit/miss ratio (Fig. 9 series).
     pub fn acm_stats(&self) -> fam_sim::stats::Ratio {
         self.cache.acm_stats()
@@ -467,6 +484,31 @@ mod tests {
         stu.invalidate_page(fam_page);
         let v = stu.verify(&broker, node, fam_page, AccessKind::Read, REQ);
         assert!(!v.acm_hit);
+    }
+
+    #[test]
+    fn shootdown_invalidates_entries_and_ptw_cache() {
+        let (mut broker, node, mut stu) = setup(StuOrganization::DeactN);
+        let fam_a = broker.demand_map(node, 0x40).unwrap();
+        let fam_b = broker.demand_map(node, 0x41).unwrap();
+        stu.verify(&broker, node, fam_a, AccessKind::Read, REQ);
+        stu.verify(&broker, node, fam_b, AccessKind::Read, REQ);
+        stu.walk_system_table(&broker, node, 0x40, REQ).unwrap();
+        let ops = stu.shootdown([fam_a]);
+        assert_eq!(ops, 2, "one entry + the PTW flush");
+        // The shot-down page re-fetches; the survivor still hits.
+        assert!(
+            !stu.verify(&broker, node, fam_a, AccessKind::Read, REQ)
+                .acm_hit
+        );
+        assert!(
+            stu.verify(&broker, node, fam_b, AccessKind::Read, REQ)
+                .acm_hit
+        );
+        // The PTW cache went cold: a neighbouring walk re-reads all
+        // four levels.
+        let (_, plan) = stu.walk_system_table(&broker, node, 0x41, REQ).unwrap();
+        assert_eq!(plan.reads(), 4);
     }
 
     #[test]

@@ -417,6 +417,30 @@ impl PageTable {
         }
     }
 
+    /// Physical base addresses of every table page (root first), in
+    /// creation order. Recovery code scans this to find table pages
+    /// resident on failed media.
+    pub fn table_page_addrs(&self) -> impl Iterator<Item = u64> + '_ {
+        self.nodes.iter().map(|n| n.base_addr)
+    }
+
+    /// Moves the table page whose physical base is `old_base` to
+    /// `new_base`, returning whether such a page existed. The *logical*
+    /// structure is untouched — only the physical placement changes, so
+    /// subsequent walks read their entries from the new address. This
+    /// is the broker's table-rebuild primitive: when failed media takes
+    /// out an interior page, the broker (which authored every entry)
+    /// reconstructs it on a surviving page and repoints the parent.
+    pub fn relocate_table_page(&mut self, old_base: u64, new_base: u64) -> bool {
+        match self.nodes.iter_mut().find(|n| n.base_addr == old_base) {
+            Some(node) => {
+                node.base_addr = new_base;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Number of mapped pages.
     pub fn mapped_pages(&self) -> u64 {
         self.mapped
@@ -541,6 +565,24 @@ mod tests {
             assert_eq!(pt.entry_addr_at(0x777, step.level), Some(step.entry_addr));
         }
         assert_eq!(pt.entry_addr_at(0x888 << 18, 3), None, "subtree absent");
+    }
+
+    #[test]
+    fn relocate_table_page_repoints_walk_addresses() {
+        let mut pt = PageTable::new(0);
+        let mut alloc = bump_alloc(0x10000);
+        pt.map(0x777, 1, PtFlags::ro(), &mut alloc);
+        let doomed = pt.walk(0x777).steps[2].entry_addr & !(PAGE_BYTES - 1);
+        assert!(pt.table_page_addrs().any(|a| a == doomed));
+        assert!(pt.relocate_table_page(doomed, 0xAB_0000));
+        // Same logical translation, new physical entry address.
+        assert_eq!(pt.translate(0x777).unwrap().target_page, 1);
+        let step = pt.walk(0x777).steps[2];
+        assert_eq!(step.entry_addr & !(PAGE_BYTES - 1), 0xAB_0000);
+        assert!(
+            !pt.relocate_table_page(doomed, 0xCD_0000),
+            "old address no longer names a table page"
+        );
     }
 
     #[test]

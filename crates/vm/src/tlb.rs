@@ -134,6 +134,16 @@ impl TlbHierarchy {
         self.l2.invalidate(vpage);
     }
 
+    /// Invalidates every entry whose cached PTE fails `pred`, at both
+    /// levels, returning how many entries were removed. This is the
+    /// broadcast-shootdown primitive for permanent-failure recovery:
+    /// the initiator knows which *frames* went away, not which virtual
+    /// pages each surviving core happens to have mapped to them, so
+    /// the match is on the cached payload.
+    pub fn invalidate_stale(&mut self, mut pred: impl FnMut(&Pte) -> bool) -> usize {
+        self.l1.retain(|_, pte| !pred(pte)) + self.l2.retain(|_, pte| !pred(pte))
+    }
+
     /// Flushes everything (full shootdown / context switch).
     pub fn flush(&mut self) {
         self.l1.clear();
@@ -241,6 +251,28 @@ mod tests {
         let (hit, _, looked) = t.lookup(1);
         assert_eq!(hit, TlbHit::L2);
         assert_eq!(probed, looked, "probe returns what lookup observes");
+    }
+
+    #[test]
+    fn invalidate_stale_matches_on_ptes_at_both_levels() {
+        // Tiny L1 so entry 1 lives only in L2 — the shootdown must
+        // reach both levels.
+        let cfg = TlbConfig {
+            l1_entries: 2,
+            l1_ways: 2,
+            l2_entries: 8,
+            l2_ways: 8,
+            ..TlbConfig::default()
+        };
+        let mut t = TlbHierarchy::new(cfg);
+        t.fill(1, pte(100)); // doomed, L2-only after evictions
+        t.fill(2, pte(100)); // doomed, resident in both levels
+        t.fill(3, pte(3)); // survivor
+        let removed = t.invalidate_stale(|p| p.target_page == 100);
+        assert!(removed >= 2, "both doomed vpages leave ({removed} ways)");
+        assert_eq!(t.probe(1), None);
+        assert_eq!(t.probe(2), None);
+        assert_eq!(t.probe(3).unwrap().target_page, 3, "survivor untouched");
     }
 
     #[test]

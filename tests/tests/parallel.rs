@@ -10,7 +10,7 @@
 //! count, so results never depend on the machine they ran on.
 
 use deact::{RunReport, Scheme, System, SystemConfig};
-use fam_sim::{FaultConfig, TraceConfig};
+use fam_sim::{FaultConfig, PersistentFault, TraceConfig};
 use fam_workloads::Workload;
 
 fn reports_for(cfg: SystemConfig, bench: &str, threads: usize) -> (RunReport, RunReport) {
@@ -109,6 +109,56 @@ fn parallel_report_is_thread_count_invariant() {
     let eight = System::new(cfg, &w).run_parallel(8);
     assert_eq!(two, four, "2 vs 4 threads");
     assert_eq!(four, eight, "4 vs 8 threads");
+}
+
+#[test]
+fn persistent_faults_are_thread_and_tracing_invariant() {
+    // The property the recovery protocol must not break: a permanent
+    // failure mid-run — retry-budget burn, broker evacuation, table
+    // rewrites, broadcast shootdown, degraded-mode poisoning — yields
+    // the *same* fault schedule and the *same* DegradationReport (and
+    // indeed the same whole report, bit for bit) no matter how the
+    // epochs were threaded or whether the tracer watched.
+    for fault in [
+        PersistentFault::NodeDead { module: 1 },
+        PersistentFault::LinkSevered { module: 1 },
+        PersistentFault::MediaFailed {
+            first_page: 0,
+            pages: 256,
+        },
+    ] {
+        for scheme in [Scheme::EFam, Scheme::DeactN] {
+            let cfg = nodes_cfg(scheme, 2)
+                .with_refs_per_core(2_000)
+                .with_fault_injection(FaultConfig::transient(7).with_persistent(fault, 400));
+            let w = Workload::by_name("sssp").unwrap();
+            let seq = System::new(cfg, &w).try_run().expect("sequential run");
+            assert!(
+                !seq.degradation.is_zero(),
+                "{fault:?}/{scheme}: the persistent fault never struck"
+            );
+            for threads in [1, 2, 4] {
+                let par = System::new(cfg, &w)
+                    .try_run_parallel(threads)
+                    .expect("parallel run");
+                assert_eq!(
+                    seq.degradation, par.degradation,
+                    "{fault:?}/{scheme}/{threads}t: degradation reports diverge"
+                );
+                assert_eq!(
+                    seq, par,
+                    "{fault:?}/{scheme}/{threads}t: engines must be bit-identical"
+                );
+            }
+            let traced = System::new(cfg.with_trace(TraceConfig::full()), &w)
+                .try_run_parallel(4)
+                .expect("traced parallel run");
+            assert_eq!(
+                seq.degradation, traced.degradation,
+                "{fault:?}/{scheme}: tracing changed the degradation report"
+            );
+        }
+    }
 }
 
 #[test]
