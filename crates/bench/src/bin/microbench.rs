@@ -43,7 +43,7 @@ use fam_broker::{AcmWidth, FamLayout};
 use fam_mem::{CacheConfig, CacheHierarchy, HierarchyConfig, Replacement, SetAssocCache};
 use fam_stu::{StuCache, StuConfig, StuOrganization};
 use fam_vm::{FamAddr, PageTable, PageWalker, PtFlags, PtwCache, TlbConfig, TlbHierarchy};
-use fam_workloads::Workload;
+use fam_workloads::{RefBatch, RefStream, Workload};
 
 const ITERS: u64 = 2_000_000;
 const REPS: usize = 5;
@@ -64,6 +64,10 @@ struct Throughput {
     total_refs: u64,
     elapsed_ns: u64,
     refs_per_sec: f64,
+    /// Fraction of references the engine retired without the
+    /// scheduler heap — archived alongside the wall-clock numbers so a
+    /// coverage regression is visible in the CI artifact, not silent.
+    fast_path_coverage: f64,
 }
 
 fn median(mut samples: Vec<f64>) -> f64 {
@@ -174,6 +178,42 @@ fn bench_parallel_scaling(records: &mut Vec<Record>) -> f64 {
     speedup_4t
 }
 
+/// Per-reference cost of the fused fast-path engine on `sp`, the
+/// Table III workload with the highest fast-path coverage (~18% of
+/// references retire without touching the scheduler heap under
+/// paper-default translation rates). A classification regression —
+/// references silently falling back to the exact scheduler — shows up
+/// here as a time jump before it shows up anywhere else.
+fn bench_fastpath(records: &mut Vec<Record>) {
+    let cfg = SystemConfig::paper_default()
+        .with_refs_per_core(SCHED_REFS)
+        .with_seed(0xBE9C)
+        .with_trace(fam_bench::trace_from_env(fam_sim::TraceConfig::disabled()));
+    let w = Workload::by_name("sp").expect("table3 benchmark");
+    let total_refs = cfg.refs_per_core * (cfg.nodes * cfg.cores_per_node) as u64;
+    let mut coverage = 0.0;
+    let samples: Vec<f64> = (0..SCHED_REPS)
+        .map(|_| {
+            let start = Instant::now();
+            let report = deact::System::new(cfg, &w).run();
+            let elapsed = start.elapsed().as_nanos() as f64;
+            coverage = report.fast_path_coverage;
+            black_box(report.cycles);
+            elapsed / total_refs as f64
+        })
+        .collect();
+    let ns = median(samples);
+    let label = "fastpath_per_ref";
+    println!(
+        "{label:28} {ns:>8.1} ns/op  ({:.1}% coverage)",
+        coverage * 100.0
+    );
+    records.push(Record {
+        label: label.to_string(),
+        ns_per_op: ns,
+    });
+}
+
 /// Whole-system throughput: simulated references per wall-clock second
 /// on the paper-default single-node configuration.
 fn bench_throughput() -> Throughput {
@@ -193,6 +233,7 @@ fn bench_throughput() -> Throughput {
         total_refs,
         elapsed_ns,
         refs_per_sec,
+        fast_path_coverage: report.fast_path_coverage,
     }
 }
 
@@ -208,6 +249,10 @@ fn write_json(
     use std::io::Write;
     let mut out = String::from("{\n  \"schema\": \"deact-microbench-v1\",\n");
     out.push_str(&format!("  \"iters\": {ITERS},\n  \"reps\": {REPS},\n"));
+    // Recorded so the CI gate can tell a real parallel-engine
+    // regression from a runner that simply has no cores to run on.
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    out.push_str(&format!("  \"host_threads\": {host_threads},\n"));
     out.push_str("  \"entries\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
@@ -222,8 +267,12 @@ fn write_json(
     ));
     out.push_str(&format!(
         "  \"throughput\": {{\"benchmark\": \"sssp\", \"total_refs\": {}, \
-         \"elapsed_ns\": {}, \"refs_per_sec\": {:.1}}}\n}}\n",
-        throughput.total_refs, throughput.elapsed_ns, throughput.refs_per_sec
+         \"elapsed_ns\": {}, \"refs_per_sec\": {:.1}, \
+         \"fast_path_coverage\": {:.4}}}\n}}\n",
+        throughput.total_refs,
+        throughput.elapsed_ns,
+        throughput.refs_per_sec,
+        throughput.fast_path_coverage
     ));
     let mut f = std::fs::File::create(path)?;
     f.write_all(out.as_bytes())
@@ -332,11 +381,27 @@ fn main() {
         black_box(gen.next_ref());
     });
 
+    // The batched counterpart: identical reference sequence, popped
+    // from a struct-of-arrays refill that resolves the stream variant
+    // once per 64 references. `trace_generator_next_ref` above calls
+    // the concrete generator directly, so the comparison shows the
+    // batch absorbing the enum dispatch the engine would otherwise
+    // pay per reference for roughly the cost of the raw loop.
+    let mut stream = RefStream::from(Workload::by_name("sssp").unwrap().generator(3));
+    let mut batch = RefBatch::new();
+    bench(&mut records, "batch_gen_per_ref", |_| {
+        if batch.is_empty() {
+            batch.refill(&mut stream, RefBatch::DEFAULT_LEN);
+        }
+        black_box(batch.pop());
+    });
+
     println!(
         "{:28} {:>11}  ({SCHED_REFS} refs/core x {SCHED_REPS} reps)",
         "", "median"
     );
     bench_scheduler_scaling(&mut records);
+    bench_fastpath(&mut records);
     let parallel_speedup_4t = bench_parallel_scaling(&mut records);
     let throughput = bench_throughput();
 

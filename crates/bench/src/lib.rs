@@ -234,7 +234,7 @@ pub fn write_csv<W: std::io::Write>(mut w: W, matrix: &Matrix) -> std::io::Resul
         "benchmark,scheme,ipc,cycles,instructions,at_percent,translation_hit,acm_hit,\
          tlb_hit,mpki,fam_data_reads,fam_data_writes,fam_writebacks,fam_at_reads,\
          dram_reads,dram_writes,faults,injected_faults,retries,timeouts,nacks_corrupt,\
-         nacks_stale,recovered,fatal,backoff_cycles"
+         nacks_stale,recovered,fatal,backoff_cycles,fast_path_coverage"
     )?;
     for stage in Stage::ALL {
         write!(w, ",lat_mean_{}", stage.name())?;
@@ -246,7 +246,7 @@ pub fn write_csv<W: std::io::Write>(mut w: W, matrix: &Matrix) -> std::io::Resul
         let r = &matrix[key];
         write!(
             w,
-            "{},{},{:.6},{},{},{:.4},{},{},{:.4},{:.2},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{:.6},{},{},{:.4},{},{},{:.4},{:.2},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4}",
             r.workload,
             r.scheme.name(),
             r.ipc,
@@ -273,6 +273,7 @@ pub fn write_csv<W: std::io::Write>(mut w: W, matrix: &Matrix) -> std::io::Resul
             r.recovery.recovered,
             r.recovery.fatal,
             r.recovery.backoff_cycles,
+            r.fast_path_coverage,
         )?;
         for stage in Stage::ALL {
             let h = r.latency.stage(stage);

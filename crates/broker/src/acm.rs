@@ -3,6 +3,8 @@
 
 use std::collections::HashMap;
 
+use fam_sim::hash::FastHash;
+
 use fam_vm::{NodeId, PtFlags};
 
 /// The kind of access being vetted.
@@ -197,7 +199,7 @@ impl AcmEntry {
 #[derive(Debug, Clone, Default)]
 struct RegionBitmap {
     /// 4 bits per node, indexed by node id.
-    nibbles: HashMap<u16, u8>,
+    nibbles: HashMap<u16, u8, FastHash>,
 }
 
 impl RegionBitmap {
@@ -252,8 +254,8 @@ impl RegionBitmap {
 #[derive(Debug, Clone)]
 pub struct AcmStore {
     width: AcmWidth,
-    entries: HashMap<u64, AcmEntry>,
-    bitmaps: HashMap<u64, RegionBitmap>,
+    entries: HashMap<u64, AcmEntry, FastHash>,
+    bitmaps: HashMap<u64, RegionBitmap, FastHash>,
 }
 
 impl AcmStore {
@@ -261,8 +263,8 @@ impl AcmStore {
     pub fn new(width: AcmWidth) -> AcmStore {
         AcmStore {
             width,
-            entries: HashMap::new(),
-            bitmaps: HashMap::new(),
+            entries: HashMap::default(),
+            bitmaps: HashMap::default(),
         }
     }
 

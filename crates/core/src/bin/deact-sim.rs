@@ -245,6 +245,10 @@ fn print_report(r: &RunReport) {
         r.dram_reads, r.dram_writes
     );
     println!("page faults      {}", r.faults);
+    println!(
+        "fast path        {:.1}% of refs retired without the scheduler",
+        r.fast_path_coverage * 100.0
+    );
     if !r.latency.is_empty() {
         println!(
             "latency          {} spans across {} stages:",
@@ -438,7 +442,16 @@ fn main() -> ExitCode {
             // host's available parallelism: with four scheme runs in
             // flight, oversubscribing the intra-run threads would only
             // slow everything down (reports are identical either way).
-            let sim_threads = sim_threads.min((fam_sim::default_jobs() / jobs).max(1));
+            let capped = sim_threads.min((fam_sim::default_jobs() / jobs).max(1));
+            if capped < sim_threads {
+                eprintln!(
+                    "note: capping --sim-threads {sim_threads} -> {capped} so \
+                     --jobs {jobs} x sim-threads fits the host's {} available \
+                     threads (reports are identical either way)",
+                    fam_sim::default_jobs()
+                );
+            }
+            let sim_threads = capped;
             // Run all four schemes across the bounded pool; printing
             // happens afterwards in scheme order, so the table is
             // identical at any worker count.

@@ -202,11 +202,14 @@ impl DegradationReport {
 /// The result of one simulation run: one benchmark under one scheme
 /// and configuration.
 ///
-/// `PartialEq` compares every field (including the derived `f64`
-/// rates), which is exactly what the scheduler-equivalence and
-/// parallel-determinism tests need: two runs are "the same" only if
-/// they are bit-identical.
-#[derive(Debug, Clone, PartialEq)]
+/// `PartialEq` compares every field (including the `f64` rates), which
+/// is exactly what the scheduler-equivalence and parallel-determinism
+/// tests need: two runs are "the same" only if they are bit-identical.
+/// The one exception is [`RunReport::fast_path_coverage`] — an
+/// engine-dependent diagnostic (how much work the chosen engine
+/// retired off its fast path), deliberately excluded from equality so
+/// reports stay engine-independent.
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Scheme simulated.
     pub scheme: Scheme,
@@ -256,6 +259,63 @@ pub struct RunReport {
     /// report differs from a pre-trace-layer run *only* by this empty
     /// block.
     pub latency: LatencyBreakdown,
+    /// Fraction of references the engine retired without touching the
+    /// scheduler heap — the sequential engine's fused fast path plus
+    /// the parallel engine's node-local phase. A coverage regression
+    /// here means references silently fell back to the slow path.
+    /// Engine-dependent: excluded from `PartialEq` (and zero for the
+    /// preserved exact engines).
+    pub fast_path_coverage: f64,
+}
+
+impl PartialEq for RunReport {
+    fn eq(&self, other: &RunReport) -> bool {
+        // Every field except `fast_path_coverage`, which is a property
+        // of the engine that produced the report, not of the simulated
+        // system. Destructure so adding a field without deciding its
+        // equality role fails to compile.
+        let RunReport {
+            scheme,
+            workload,
+            nodes,
+            cores_per_node,
+            instructions,
+            cycles,
+            ipc,
+            fam,
+            translation_hit_rate,
+            acm_hit_rate,
+            tlb_hit_rate,
+            mpki,
+            dram_reads,
+            dram_writes,
+            faults,
+            recovery,
+            degradation,
+            refs_per_core,
+            latency,
+            fast_path_coverage: _,
+        } = self;
+        *scheme == other.scheme
+            && *workload == other.workload
+            && *nodes == other.nodes
+            && *cores_per_node == other.cores_per_node
+            && *instructions == other.instructions
+            && *cycles == other.cycles
+            && *ipc == other.ipc
+            && *fam == other.fam
+            && *translation_hit_rate == other.translation_hit_rate
+            && *acm_hit_rate == other.acm_hit_rate
+            && *tlb_hit_rate == other.tlb_hit_rate
+            && *mpki == other.mpki
+            && *dram_reads == other.dram_reads
+            && *dram_writes == other.dram_writes
+            && *faults == other.faults
+            && *recovery == other.recovery
+            && *degradation == other.degradation
+            && *refs_per_core == other.refs_per_core
+            && *latency == other.latency
+    }
 }
 
 impl RunReport {
@@ -331,7 +391,18 @@ mod tests {
             degradation: DegradationReport::default(),
             refs_per_core: 10,
             latency: LatencyBreakdown::default(),
+            fast_path_coverage: 0.0,
         }
+    }
+
+    #[test]
+    fn reports_differing_only_in_coverage_are_equal() {
+        let a = report(1.0);
+        let mut b = report(1.0);
+        b.fast_path_coverage = 0.75;
+        assert_eq!(a, b, "coverage is an engine diagnostic, not a result");
+        b.cycles += 1;
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -7,11 +7,11 @@ use fam_fabric::packet::{Packet, PacketKind, RESPONSE_BYTES};
 use fam_fabric::Fabric;
 use fam_mem::{MemOpKind, NvmModel};
 use fam_sim::{
-    Cycle, Duration, FabricFault, FaultInjector, IndexedMinHeap, PersistentFault, RequestId, Stage,
-    TraceEvent, Tracer, Track, WindowSample,
+    Cycle, Duration, FabricFault, FaultInjector, FreeList, IndexedMinHeap, PersistentFault,
+    RequestId, Stage, TraceEvent, Tracer, Track, WindowSample,
 };
 use fam_stu::Stu;
-use fam_vm::{NodeId, Pte, VirtAddr, PAGE_BYTES};
+use fam_vm::{NodeId, Pte, VirtAddr, WalkAccess, PAGE_BYTES};
 use fam_workloads::{MemRef, RefStream, TraceGenerator, Workload};
 
 use crate::error::SimError;
@@ -89,8 +89,18 @@ pub struct System {
     lost: BTreeMap<(NodeId, u64), u64>,
     /// References retired by [`System::try_run_parallel`]'s node-local
     /// phase — the engine's parallel coverage. Diagnostics only; never
-    /// part of the report (reports are engine-independent).
+    /// part of the [`PartialEq`]-visible report (reports are
+    /// engine-independent).
     local_phase_refs: u64,
+    /// References retired by the sequential engine's fused fast path
+    /// ([`System::try_run`]) without touching the scheduler heap.
+    /// Feeds the report's coverage diagnostic; like
+    /// `local_phase_refs`, engine-dependent and excluded from report
+    /// equality.
+    fast_path_refs: u64,
+    /// Recycled page-walk access buffers: a node-level walk plans into
+    /// one of these instead of allocating a fresh vector per walk.
+    walk_bufs: FreeList<Vec<WalkAccess>>,
 }
 
 impl System {
@@ -219,6 +229,8 @@ impl System {
             moved: BTreeMap::new(),
             lost: BTreeMap::new(),
             local_phase_refs: 0,
+            fast_path_refs: 0,
+            walk_bufs: FreeList::new(),
             config,
         }
     }
@@ -229,6 +241,15 @@ impl System {
     /// intra-run speedup. Deterministic and thread-count invariant.
     pub fn local_phase_refs(&self) -> u64 {
         self.local_phase_refs
+    }
+
+    /// References the sequential engine retired on its fused fast path
+    /// (zero after [`System::try_run_exact`]). Together with
+    /// [`System::local_phase_refs`] this is the run's fast-path
+    /// coverage — how much of the work never touched the scheduler
+    /// heap.
+    pub fn fast_path_refs(&self) -> u64 {
+        self.fast_path_refs
     }
 
     /// The configuration in force.
@@ -280,18 +301,38 @@ impl System {
     /// Runs every core to `refs_per_core` references and reports,
     /// surfacing failures as a typed [`SimError`] instead of a panic.
     ///
-    /// The scheduler is event-driven: every staged core sits in an
-    /// indexed min-heap keyed on `(ready_cycle, node, core)`, and each
-    /// simulated reference costs one pop plus one re-insert — O(log
-    /// total_cores) — instead of the reference scan's two full sweeps
-    /// over every core ([`System::try_run_scan`]). The explicit
-    /// `(node, core)` tie-break in the key reproduces the scan's
-    /// first-wins order among equal ready times, and a core's predicted
-    /// ready time depends only on its own front-end and outstanding
-    /// window, so only the core that just executed needs re-keying:
-    /// the two schedulers execute the same references in the same order
-    /// and their reports are bit-identical (a property the integration
-    /// tests pin down).
+    /// This is the fused fast-path/slow-path engine. References that
+    /// provably touch node-local state only — TLB hit, and an LLC hit
+    /// or a DRAM-backed miss whose predicted victim is also DRAM-backed
+    /// ([`probe_local`], the same classifier the parallel engine
+    /// trusts) — retire in a per-node sweep with no scheduler-heap
+    /// pop/push and no per-reference allocation. Only FAM-bound,
+    /// TLB-missing, or faulting references fall through to the exact
+    /// event-driven scheduler ([`System::try_run_exact`]).
+    ///
+    /// Reports are bit-identical to the exact engine (a property the
+    /// integration tests pin down) because:
+    ///
+    /// - a locally-retired reference reads and writes nothing outside
+    ///   its node (TLB recency, cache state, node DRAM timeline, core
+    ///   bookkeeping), so retiring it early commutes with every
+    ///   reference of every other node;
+    /// - within a node, the sweep retires fronts in the same greedy
+    ///   `(ready, core)` order the exact scheduler uses, and stops at
+    ///   the first reference it cannot prove local;
+    /// - everything else drains through the heap in the exact global
+    ///   `(ready, slot)` order, and after each sweep every front the
+    ///   heap can pop is slow-classified, so the pop order equals the
+    ///   exact engine's order restricted to slow references;
+    /// - while a scheduled persistent fault is armed but unhandled, the
+    ///   fast path is disabled outright (recovery's broadcast shootdown
+    ///   mutates *other* nodes' TLBs — state the probe reads), exactly
+    ///   mirroring the parallel engine's recovery gate.
+    ///
+    /// Request ids are the one observable that differs (they are drawn
+    /// in retirement order, not exact-schedule order); ids never
+    /// influence timing, so only trace-ring contents may differ — the
+    /// same caveat [`System::try_run_parallel`] already carries.
     ///
     /// # Errors
     ///
@@ -306,15 +347,89 @@ impl System {
             for c in 0..self.nodes[n].cores.len() {
                 if self.nodes[n].cores[c].refs_done < refs {
                     self.stage_ref(n, c);
+                }
+            }
+        }
+        let armed = self.injector.persistent_schedule().is_some();
+        let mut fast_ok = !armed || self.persistent_handled;
+        if fast_ok {
+            for n in 0..self.nodes.len() {
+                self.fast_sweep_node(n, &mut ready_queue, refs, Cycle(u64::MAX));
+            }
+        } else {
+            for n in 0..self.nodes.len() {
+                for c in 0..self.nodes[n].cores.len() {
+                    if let Some(p) = self.nodes[n].cores[c].pending {
+                        let slot = n * cores_per_node + c;
+                        ready_queue.insert(slot, (p.ready, slot));
+                    }
+                }
+            }
+        }
+        // Slow path: execute in ready order so the shared-resource
+        // timelines advance in time order. (Out-of-order processing
+        // would let a far-future request push a resource's timeline
+        // past everyone else's present.)
+        while let Some((slot, _)) = ready_queue.pop() {
+            let (n, c) = (slot / cores_per_node, slot % cores_per_node);
+            self.sim_ref(n, c)?;
+            if self.nodes[n].cores[c].refs_done < refs {
+                self.stage_ref(n, c);
+            }
+            if fast_ok {
+                // Only node `n`'s probe-relevant state can have changed
+                // (cross-node mutation happens solely in the gated
+                // recovery shootdown), so only node `n` needs
+                // re-sweeping.
+                self.fast_sweep_node(n, &mut ready_queue, refs, Cycle(u64::MAX));
+            } else if !armed || self.persistent_handled {
+                // Recovery just completed: the fast path is safe from
+                // here on. Sweep everything once to catch up.
+                fast_ok = true;
+                for m in 0..self.nodes.len() {
+                    self.fast_sweep_node(m, &mut ready_queue, refs, Cycle(u64::MAX));
+                }
+            } else if let Some(p) = self.nodes[n].cores[c].pending {
+                let slot = n * cores_per_node + c;
+                ready_queue.insert(slot, (p.ready, slot));
+            }
+        }
+        Ok(self.report())
+    }
+
+    /// The preserved exact engine: every reference goes through the
+    /// event-driven scheduler — an indexed min-heap keyed on
+    /// `(ready_cycle, node, core)`, one pop plus one re-insert per
+    /// reference — with no fast path. The explicit `(node, core)`
+    /// tie-break in the key reproduces the reference scan's first-wins
+    /// order among equal ready times, and a core's predicted ready time
+    /// depends only on its own front-end and outstanding window, so
+    /// only the core that just executed needs re-keying: this engine
+    /// and [`System::try_run_scan`] execute the same references in the
+    /// same order and their reports are bit-identical.
+    ///
+    /// Kept as the executable specification [`System::try_run`]'s fast
+    /// path is differentially tested against; new callers want
+    /// [`System::try_run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FamExhausted`] when the broker cannot
+    /// demand-map another FAM page for the workload.
+    pub fn try_run_exact(&mut self) -> Result<RunReport, SimError> {
+        let refs = self.config.refs_per_core;
+        let cores_per_node = self.config.cores_per_node;
+        let mut ready_queue: IndexedMinHeap<(Cycle, usize)> =
+            IndexedMinHeap::new(self.nodes.len() * cores_per_node);
+        for n in 0..self.nodes.len() {
+            for c in 0..self.nodes[n].cores.len() {
+                if self.nodes[n].cores[c].refs_done < refs {
+                    self.stage_ref(n, c);
                     let slot = n * cores_per_node + c;
                     ready_queue.insert(slot, (self.staged_ready(n, c), slot));
                 }
             }
         }
-        // Execute in ready order so the shared-resource timelines
-        // advance in time order. (Out-of-order processing would let a
-        // far-future request push a resource's timeline past everyone
-        // else's present.)
         while let Some((slot, _)) = ready_queue.pop() {
             let (n, c) = (slot / cores_per_node, slot % cores_per_node);
             self.sim_ref(n, c)?;
@@ -324,6 +439,42 @@ impl System {
             }
         }
         Ok(self.report())
+    }
+
+    /// Retires node `n`'s provably-local front references below
+    /// `horizon` ([`node_local_phase`] with the system tracer), then
+    /// re-synchronizes the node's scheduler-heap entries: a staged
+    /// pending below the horizon is (re)keyed, everything else is
+    /// removed. The sweep is the fast path's only interaction with the
+    /// heap — retired references never enter it.
+    fn fast_sweep_node(
+        &mut self,
+        n: usize,
+        queue: &mut IndexedMinHeap<(Cycle, usize)>,
+        refs: u64,
+        horizon: Cycle,
+    ) {
+        let issue_width = u64::from(self.config.issue_width);
+        let node = &mut self.nodes[n];
+        let retired = node_local_phase(n, node, &mut self.tracer, horizon, issue_width, refs);
+        self.fast_path_refs += retired;
+        let cores_per_node = self.config.cores_per_node;
+        for c in 0..self.nodes[n].cores.len() {
+            let slot = n * cores_per_node + c;
+            match self.nodes[n].cores[c].pending {
+                Some(p) if p.ready < horizon => {
+                    let key = (p.ready, slot);
+                    match queue.key_of(slot) {
+                        Some(k) if *k == key => {}
+                        Some(_) => queue.update(slot, key),
+                        None => queue.insert(slot, key),
+                    }
+                }
+                _ => {
+                    queue.remove(slot);
+                }
+            }
+        }
     }
 
     /// The reference scheduler the seed shipped: stages every idle
@@ -403,6 +554,14 @@ impl System {
     /// Returns [`SimError::FamExhausted`] when the broker cannot
     /// demand-map another FAM page for the workload.
     pub fn try_run_parallel(&mut self, threads: usize) -> Result<RunReport, SimError> {
+        // Oversubscribing the host only adds handoff latency: extra
+        // workers time-slice one another without retiring anything
+        // sooner. Clamp to what the machine can actually run. (The
+        // clamp changes execution strategy only, never results.)
+        let host = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let threads = threads.min(host);
         if threads <= 1 || self.nodes.len() < 2 {
             return self.try_run();
         }
@@ -426,8 +585,12 @@ impl System {
         }
         // Correctness needs only L >= 1 (the commit phase replays the
         // sequential order below the horizon regardless); the fabric
-        // latency just makes epochs usefully wide.
-        let lookahead = self.fabric.latency().max(Duration(1));
+        // latency just makes epochs usefully wide. Widening beyond one
+        // fabric hop amortizes the per-epoch spawn/barrier cost over
+        // more locally-retired references — the measured fix for the
+        // fine-epoch handoff overhead that kept speedup below 1.0.
+        const EPOCH_LOOKAHEADS: u64 = 8;
+        let lookahead = Duration(self.fabric.latency().0.max(1) * EPOCH_LOOKAHEADS);
         let mut commit_queue: IndexedMinHeap<(Cycle, usize)> =
             IndexedMinHeap::new(self.nodes.len() * cores_per_node);
         // Adaptive spawn gate: spawning is only worth its fixed cost
@@ -531,9 +694,17 @@ impl System {
                 self.sim_ref(n, c)?;
                 if self.nodes[n].cores[c].refs_done < refs {
                     self.stage_ref(n, c);
-                    let ready = self.staged_ready(n, c);
-                    if ready < horizon {
-                        commit_queue.insert(slot, (ready, slot));
+                }
+                // Drain the node's local tail behind the committed
+                // reference on the sequential fast path (heap-free,
+                // horizon-bounded) instead of heaping every one —
+                // unless recovery is still pending, in which case the
+                // same gate as the local phase applies.
+                if self.injector.persistent_schedule().is_none() || self.persistent_handled {
+                    self.fast_sweep_node(n, &mut commit_queue, refs, horizon);
+                } else if let Some(p) = self.nodes[n].cores[c].pending {
+                    if p.ready < horizon {
+                        commit_queue.insert(slot, (p.ready, slot));
                     }
                 }
             }
@@ -694,12 +865,22 @@ impl System {
         if let Some(pte) = hit {
             return Ok((pte, t));
         }
+        // Recycled walk buffer: plans land in a pooled vector instead
+        // of a fresh allocation per walk. On early `?` returns the
+        // buffer is dropped rather than recycled — harmless, the pool
+        // refills on demand.
+        let mut walk_buf = self.walk_bufs.get();
         loop {
-            let plan = {
+            let mapping = {
                 let node = &mut self.nodes[n];
-                fam_vm::PageWalker::plan(&node.page_table, Some(&mut node.cores[c].ptw), vpage)
+                fam_vm::PageWalker::plan_into(
+                    &node.page_table,
+                    Some(&mut node.cores[c].ptw),
+                    vpage,
+                    &mut walk_buf,
+                )
             };
-            match plan.mapping {
+            match mapping {
                 None => {
                     // Node-level page fault: the OS installs a mapping.
                     if self.tracer.is_enabled() {
@@ -718,10 +899,10 @@ impl System {
                 }
                 Some(mut pte) => {
                     let walk_start = t;
-                    for acc in &plan.accesses {
+                    for acc in &walk_buf {
                         t = self.pt_step_access(n, c, acc.entry_addr, t, req)?;
                     }
-                    if self.tracer.is_enabled() && !plan.accesses.is_empty() {
+                    if self.tracer.is_enabled() && !walk_buf.is_empty() {
                         self.tracer.record(TraceEvent {
                             req,
                             stage: Stage::PtWalk,
@@ -767,6 +948,7 @@ impl System {
                         }
                     }
                     self.nodes[n].cores[c].tlb.fill(vpage, pte);
+                    self.walk_bufs.put(walk_buf);
                     return Ok((pte, t));
                 }
             }
@@ -808,6 +990,10 @@ impl System {
 
     /// Selects the FAM module backing an address (page-interleaved).
     fn module_of(&self, fam_byte: u64) -> usize {
+        // Single-module systems (the paper default) skip the divide.
+        if self.nvm.len() == 1 {
+            return 0;
+        }
         ((fam_byte / PAGE_BYTES) % self.nvm.len() as u64) as usize
     }
 
@@ -1661,6 +1847,15 @@ impl System {
             degradation: self.degradation,
             refs_per_core: self.config.refs_per_core,
             latency: self.tracer.breakdown(),
+            fast_path_coverage: {
+                let total: u64 = self.nodes.iter().map(|n| n.cores.len() as u64).sum::<u64>()
+                    * self.config.refs_per_core;
+                if total == 0 {
+                    0.0
+                } else {
+                    (self.fast_path_refs + self.local_phase_refs) as f64 / total as f64
+                }
+            },
         }
     }
 
@@ -1689,7 +1884,17 @@ fn access_kind(kind: MemOpKind) -> AccessKind {
 /// node-local phase (which draws `req` from a per-node shard tracer
 /// instead of the system one).
 fn stage_core(core: &mut CoreState, issue_width: u64, req: RequestId) {
-    let r = core.gen.next_ref();
+    // Struct-of-arrays batching: the enum-dispatched generator call is
+    // paid once per `RefBatch::DEFAULT_LEN` references; the steady
+    // state is an indexed pop. Order is exactly the unbatched stream's.
+    let r = match core.batch.pop() {
+        Some(r) => r,
+        None => {
+            core.batch
+                .refill(&mut core.gen, fam_workloads::RefBatch::DEFAULT_LEN);
+            core.batch.pop().expect("a refill yields references")
+        }
+    };
     core.instructions += u64::from(r.gap_instrs) + 1;
     core.next_issue += Duration(u64::from(r.gap_instrs).div_ceil(issue_width) + 1);
     let mut start_req = core.next_issue.max(core.issue_clock);
@@ -1700,7 +1905,7 @@ fn stage_core(core: &mut CoreState, issue_width: u64, req: RequestId) {
         mem: r,
         req,
         start_req,
-        ready: core.window.would_start(start_req),
+        ready: core.window.would_start_mut(start_req),
     });
 }
 

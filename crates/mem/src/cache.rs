@@ -75,13 +75,10 @@ pub struct AccessOutcome<V = ()> {
     pub evicted: Option<(u64, V)>,
 }
 
-#[derive(Debug, Clone)]
-struct Way<V> {
-    key: u64,
-    value: V,
-    /// Recency stamp; larger is more recent.
-    stamp: u64,
-}
+/// Tag value marking an empty way. Keys are addresses or page
+/// numbers, which never reach `u64::MAX` in practice; the constructor
+/// rejects nothing, but inserting this exact key is unsupported.
+const EMPTY: u64 = u64::MAX;
 
 /// A set-associative cache mapping `u64` keys to values, with hit/miss
 /// statistics.
@@ -108,7 +105,24 @@ struct Way<V> {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<V = ()> {
     config: CacheConfig,
-    sets: Vec<Vec<Way<V>>>,
+    /// Tags of all ways of all sets, contiguous: set `i` occupies
+    /// `i * ways .. (i + 1) * ways`, with [`EMPTY`] marking free ways.
+    /// Tags, recency stamps and values are parallel arrays rather than
+    /// an array of structs: a lookup on the simulation's hottest path
+    /// then scans only the densely-packed tags — one or two cache
+    /// lines per set — instead of striding over stamps and values it
+    /// rarely needs.
+    keys: Vec<u64>,
+    /// Recency stamps; larger is more recent. Parallel to `keys`.
+    stamps: Vec<u64>,
+    /// Cached values; parallel to `keys`. `None` iff the way is empty.
+    values: Vec<Option<V>>,
+    /// `sets - 1` when the set count is a power of two, else 0. Set
+    /// selection is on the critical load chain of every lookup, and
+    /// all the simulator's cache geometries are powers of two, so a
+    /// mask here turns the hardware-divide in `key % sets` into an
+    /// AND.
+    set_mask: u64,
     clock: u64,
     stats: Ratio,
     rng: SimRng,
@@ -123,33 +137,82 @@ impl<V> SetAssocCache<V> {
     /// Creates an empty cache with an explicit RNG seed (relevant only
     /// for [`Replacement::Random`]).
     pub fn with_seed(config: CacheConfig, seed: u64) -> SetAssocCache<V> {
+        let entries = config.entries();
+        let mut values = Vec::new();
+        values.resize_with(entries, || None);
+        let sets = config.sets as u64;
         SetAssocCache {
             config,
-            sets: (0..config.sets).map(|_| Vec::new()).collect(),
+            keys: vec![EMPTY; entries],
+            stamps: vec![0; entries],
+            values,
+            set_mask: if sets.is_power_of_two() { sets - 1 } else { 0 },
             clock: 0,
             stats: Ratio::new(),
             rng: SimRng::seeded(seed),
         }
     }
 
-    fn set_index(&self, key: u64) -> usize {
-        (key % self.config.sets as u64) as usize
+    /// First slot of `key`'s set in the flat way array.
+    fn set_start(&self, key: u64) -> usize {
+        let set = if self.set_mask != 0 {
+            (key & self.set_mask) as usize
+        } else {
+            (key % self.config.sets as u64) as usize
+        };
+        set * self.config.ways
+    }
+
+    /// The slot holding `key`, if resident. Every lookup flavour —
+    /// counted or not, shared or mutable — resolves residency through
+    /// this one helper, so `access`-style methods and their
+    /// side-effect-free `probe`/`peek` counterparts can never disagree
+    /// about what is in the cache.
+    fn find(&self, key: u64) -> Option<usize> {
+        let start = self.set_start(key);
+        self.keys[start..start + self.config.ways]
+            .iter()
+            .position(|&k| k == key)
+            .map(|w| start + w)
+    }
+
+    /// An empty way in `key`'s set, if any.
+    fn vacancy(&self, key: u64) -> Option<usize> {
+        let start = self.set_start(key);
+        self.keys[start..start + self.config.ways]
+            .iter()
+            .position(|&k| k == EMPTY)
+            .map(|w| start + w)
+    }
+
+    /// The slot a full set would evict under LRU: the minimum recency
+    /// stamp. Shared by [`SetAssocCache::insert`] and
+    /// [`SetAssocCache::peek_victim`], so the prediction and the real
+    /// eviction are one decision procedure.
+    fn lru_victim(&self, key: u64) -> usize {
+        let start = self.set_start(key);
+        self.stamps[start..start + self.config.ways]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &s)| s)
+            .map(|(w, _)| start + w)
+            .expect("at least one way")
     }
 
     /// Looks up `key`, updating recency and hit/miss statistics, and
     /// returns a reference to its value if present.
     pub fn get(&mut self, key: u64) -> Option<&V> {
         self.clock += 1;
-        let clock = self.clock;
-        let idx = self.set_index(key);
-        let set = &mut self.sets[idx];
-        if let Some(way) = set.iter_mut().find(|w| w.key == key) {
-            way.stamp = clock;
-            self.stats.hit();
-            Some(&way.value)
-        } else {
-            self.stats.miss();
-            None
+        match self.find(key) {
+            Some(i) => {
+                self.stamps[i] = self.clock;
+                self.stats.hit();
+                self.values[i].as_ref()
+            }
+            None => {
+                self.stats.miss();
+                None
+            }
         }
     }
 
@@ -157,15 +220,11 @@ impl<V> SetAssocCache<V> {
     /// updating recency and statistics.
     pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
         self.clock += 1;
-        let clock = self.clock;
-        let idx = self.set_index(key);
-        let set = &mut self.sets[idx];
-        let found = set.iter_mut().find(|w| w.key == key);
-        match found {
-            Some(way) => {
-                way.stamp = clock;
+        match self.find(key) {
+            Some(i) => {
+                self.stamps[i] = self.clock;
                 self.stats.hit();
-                Some(&mut way.value)
+                self.values[i].as_mut()
             }
             None => {
                 self.stats.miss();
@@ -176,7 +235,7 @@ impl<V> SetAssocCache<V> {
 
     /// Checks for `key` without updating recency or statistics.
     pub fn probe(&self, key: u64) -> bool {
-        self.sets[self.set_index(key)].iter().any(|w| w.key == key)
+        self.find(key).is_some()
     }
 
     /// Shared access to `key`'s value without touching recency or
@@ -184,10 +243,7 @@ impl<V> SetAssocCache<V> {
     /// [`SetAssocCache::probe`], for predicting what a later real
     /// access would observe.
     pub fn peek(&self, key: u64) -> Option<&V> {
-        self.sets[self.set_index(key)]
-            .iter()
-            .find(|w| w.key == key)
-            .map(|w| &w.value)
+        self.find(key).and_then(|i| self.values[i].as_ref())
     }
 
     /// The key that `insert(key, …)` would evict right now, without
@@ -201,11 +257,10 @@ impl<V> SetAssocCache<V> {
             Replacement::Lru,
             "random replacement victims cannot be predicted"
         );
-        let set = &self.sets[self.set_index(key)];
-        if set.len() < self.config.ways || set.iter().any(|w| w.key == key) {
+        if self.vacancy(key).is_some() || self.find(key).is_some() {
             return None;
         }
-        set.iter().min_by_key(|w| w.stamp).map(|w| w.key)
+        Some(self.keys[self.lru_victim(key)])
     }
 
     /// Mutable access to `key`'s value without touching recency or
@@ -213,72 +268,80 @@ impl<V> SetAssocCache<V> {
     /// bit propagated by an outer cache level) that is not a real
     /// access.
     pub fn peek_mut(&mut self, key: u64) -> Option<&mut V> {
-        let idx = self.set_index(key);
-        self.sets[idx]
-            .iter_mut()
-            .find(|w| w.key == key)
-            .map(|w| &mut w.value)
+        self.find(key).and_then(|i| self.values[i].as_mut())
     }
 
     /// Inserts `key → value`, evicting if the set is full. Returns the
     /// evicted entry, if any. Re-inserting an existing key replaces its
     /// value and refreshes recency without eviction.
     pub fn insert(&mut self, key: u64, value: V) -> Option<(u64, V)> {
+        debug_assert_ne!(key, EMPTY, "the all-ones key is reserved");
         self.clock += 1;
         let clock = self.clock;
-        let ways = self.config.ways;
-        let replacement = self.config.replacement;
-        let idx = self.set_index(key);
 
-        if let Some(way) = self.sets[idx].iter_mut().find(|w| w.key == key) {
-            way.value = value;
-            way.stamp = clock;
+        // One fused scan finds the resident way, the first empty way
+        // and the LRU way together; inserts run on every modelled
+        // cache miss, so the set is walked once, not three times. The
+        // outcomes are exactly [`Self::find`] / [`Self::vacancy`] /
+        // [`Self::lru_victim`]: first match, first empty, first
+        // minimum stamp.
+        let start = self.set_start(key);
+        let mut found = usize::MAX;
+        let mut empty = usize::MAX;
+        let mut lru = start;
+        let mut lru_stamp = u64::MAX;
+        for i in start..start + self.config.ways {
+            let k = self.keys[i];
+            if k == key {
+                found = i;
+                break;
+            }
+            if k == EMPTY && empty == usize::MAX {
+                empty = i;
+            }
+            if self.stamps[i] < lru_stamp {
+                lru_stamp = self.stamps[i];
+                lru = i;
+            }
+        }
+        if found != usize::MAX {
+            self.values[found] = Some(value);
+            self.stamps[found] = clock;
             return None;
         }
-        if self.sets[idx].len() < ways {
-            self.sets[idx].push(Way {
-                key,
-                value,
-                stamp: clock,
-            });
+        if empty != usize::MAX {
+            self.keys[empty] = key;
+            self.stamps[empty] = clock;
+            self.values[empty] = Some(value);
             return None;
         }
-        let victim = match replacement {
-            Replacement::Lru => self.sets[idx]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.stamp)
-                .map(|(i, _)| i)
-                .expect("set is full, so non-empty"),
-            Replacement::Random => self.rng.index(ways),
+        let victim = match self.config.replacement {
+            Replacement::Lru => lru,
+            Replacement::Random => start + self.rng.index(self.config.ways),
         };
-        let old = std::mem::replace(
-            &mut self.sets[idx][victim],
-            Way {
-                key,
-                value,
-                stamp: clock,
-            },
-        );
-        Some((old.key, old.value))
+        let old_key = std::mem::replace(&mut self.keys[victim], key);
+        let old_value = self.values[victim].replace(value);
+        self.stamps[victim] = clock;
+        Some((old_key, old_value.expect("full set has no empty ways")))
     }
 
     /// Removes `key` if present, returning its value.
     pub fn invalidate(&mut self, key: u64) -> Option<V> {
-        let idx = self.set_index(key);
-        let set = &mut self.sets[idx];
-        let pos = set.iter().position(|w| w.key == key)?;
-        Some(set.swap_remove(pos).value)
+        let i = self.find(key)?;
+        self.keys[i] = EMPTY;
+        self.values[i].take()
     }
 
     /// Removes every entry whose key satisfies `pred`, returning how
     /// many were removed. Used for shootdowns (page migration, §VI).
     pub fn invalidate_matching(&mut self, mut pred: impl FnMut(u64) -> bool) -> usize {
         let mut removed = 0;
-        for set in &mut self.sets {
-            let before = set.len();
-            set.retain(|w| !pred(w.key));
-            removed += before - set.len();
+        for (i, k) in self.keys.iter_mut().enumerate() {
+            if *k != EMPTY && pred(*k) {
+                *k = EMPTY;
+                self.values[i] = None;
+                removed += 1;
+            }
         }
         removed
     }
@@ -290,17 +353,26 @@ impl<V> SetAssocCache<V> {
     /// FAM frames rather than the virtual keys that index them).
     pub fn retain(&mut self, mut pred: impl FnMut(u64, &V) -> bool) -> usize {
         let mut removed = 0;
-        for set in &mut self.sets {
-            let before = set.len();
-            set.retain(|w| pred(w.key, &w.value));
-            removed += before - set.len();
+        for (i, k) in self.keys.iter_mut().enumerate() {
+            if *k == EMPTY {
+                continue;
+            }
+            let keep = self.values[i]
+                .as_ref()
+                .map(|v| pred(*k, v))
+                .expect("non-empty way has a value");
+            if !keep {
+                *k = EMPTY;
+                self.values[i] = None;
+                removed += 1;
+            }
         }
         removed
     }
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.keys.iter().filter(|&&k| k != EMPTY).count()
     }
 
     /// Whether the cache holds no entries.
@@ -320,8 +392,9 @@ impl<V> SetAssocCache<V> {
 
     /// Drops all entries and statistics.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
+        self.keys.fill(EMPTY);
+        for v in &mut self.values {
+            *v = None;
         }
         self.stats.reset();
     }
@@ -333,7 +406,10 @@ impl<V> SetAssocCache<V> {
 
     /// Iterates over `(key, &value)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
-        self.sets.iter().flatten().map(|w| (w.key, &w.value))
+        self.keys
+            .iter()
+            .zip(&self.values)
+            .filter_map(|(&k, v)| v.as_ref().map(|v| (k, v)))
     }
 }
 
@@ -539,6 +615,47 @@ mod tests {
     #[should_panic(expected = "at least one way")]
     fn zero_ways_rejected() {
         let _ = CacheConfig::new(1, 0, Replacement::Lru);
+    }
+
+    /// The fast path trusts `probe`/`peek`/`peek_victim` to predict
+    /// what `get`/`insert` will do. Because all of them resolve
+    /// residency through [`SetAssocCache::find`] and evictions through
+    /// [`SetAssocCache::lru_victim`], the prediction and the mutation
+    /// are one decision procedure — this test hammers that agreement
+    /// with a randomized, heavily-aliasing access stream.
+    #[test]
+    fn probes_agree_with_accesses_under_random_streams() {
+        let mut rng = SimRng::seeded(0xA93E);
+        let mut c: SetAssocCache<u64> =
+            SetAssocCache::new(CacheConfig::new(8, 4, Replacement::Lru));
+        for step in 0..20_000u64 {
+            // 64 keys over 8 sets of 4 ways: constant aliasing, so
+            // every branch (hit, vacancy fill, eviction) is exercised.
+            let key = rng.below(64);
+            let predicted_hit = c.probe(key);
+            assert_eq!(predicted_hit, c.peek(key).is_some());
+            let predicted_victim = c.peek_victim(key);
+            if predicted_hit {
+                assert_eq!(predicted_victim, None, "resident keys never evict");
+            }
+            if rng.chance(0.5) {
+                assert_eq!(
+                    c.get(key).is_some(),
+                    predicted_hit,
+                    "probe disagreed with a counted lookup at step {step}"
+                );
+            } else {
+                let evicted = c.insert(key, step);
+                assert_eq!(
+                    evicted.map(|(k, _)| k),
+                    predicted_victim,
+                    "peek_victim disagreed with a real insert at step {step}"
+                );
+                assert!(c.probe(key), "inserted key must be resident");
+                assert_eq!(c.peek(key), Some(&step));
+            }
+        }
+        assert!(c.stats().total() > 0, "the stream exercised counted paths");
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Deterministic, dependency-free fast hashing for simulator maps.
+//!
+//! `std`'s default SipHash is keyed per process for HashDoS
+//! resistance — protection the simulator's internal maps (keyed by
+//! page numbers it generates itself) do not need, at a cost that
+//! shows up on per-reference paths like ACM checks. This is a
+//! Fibonacci multiply-mix: two multiplies per `u64`, deterministic
+//! across runs, ample for page-number keys.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// Hasher state; see [`FastHash`].
+#[derive(Debug, Clone)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so low-entropy keys spread across buckets.
+        let mut h = self.0;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        h ^ (h >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// [`BuildHasher`] for [`FastHasher`]; use as the third type
+/// parameter of `HashMap`/`HashSet`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHash;
+
+impl BuildHasher for FastHash {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher(0x517C_C1B7_2722_0A95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_across_builders() {
+        let a = FastHash.hash_one(42u64);
+        let b = FastHash.hash_one(42u64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let h1 = FastHash.hash_one(1000u64);
+        let h2 = FastHash.hash_one(1001u64);
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: HashMap<u64, u32, FastHash> = HashMap::default();
+        for i in 0..1000 {
+            m.insert(i, (i * 2) as u32);
+        }
+        assert_eq!(m.get(&500), Some(&1000));
+    }
+}

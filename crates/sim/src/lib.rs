@@ -51,11 +51,13 @@
 mod clock;
 mod event;
 mod fault;
+pub mod hash;
 mod pool;
 mod queue;
 mod resource;
 mod rng;
 pub mod stats;
+pub mod timeline;
 pub mod trace;
 mod window;
 
@@ -64,7 +66,7 @@ pub use event::EventQueue;
 pub use fault::{
     FabricFault, FaultConfig, FaultInjector, FaultStats, PersistentFault, PersistentSchedule,
 };
-pub use pool::{default_jobs, scoped_map, scoped_map_mut, ThreadPool};
+pub use pool::{default_jobs, scoped_map, scoped_map_mut, FreeList, ThreadPool};
 pub use queue::IndexedMinHeap;
 pub use resource::{BankedResource, Resource};
 pub use rng::SimRng;

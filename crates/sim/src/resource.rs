@@ -1,12 +1,7 @@
 //! Contended hardware resources modelled as busy-interval timelines.
 
-use std::collections::VecDeque;
-
+use crate::timeline::Timeline;
 use crate::{Cycle, Duration};
-
-/// Upper bound on retained busy intervals; older intervals are
-/// forgotten (treated as free), bounding memory for long runs.
-const MAX_INTERVALS: usize = 256;
 
 /// A serially-occupied hardware unit: a DRAM channel, a fabric link, an
 /// STU lookup port.
@@ -35,8 +30,10 @@ const MAX_INTERVALS: usize = 256;
 #[derive(Debug, Clone)]
 pub struct Resource {
     occupancy: Duration,
-    /// Sorted, non-overlapping (start, end) busy intervals.
-    intervals: VecDeque<(u64, u64)>,
+    /// Sorted, non-overlapping (start, end) busy intervals. Bounded:
+    /// the oldest intervals are forgotten (treated as free) past
+    /// [`crate::timeline::MAX_INTERVALS`], bounding memory for long runs.
+    intervals: Timeline,
     busy: Duration,
     requests: u64,
 }
@@ -46,7 +43,7 @@ impl Resource {
     pub fn new(occupancy: u64) -> Resource {
         Resource {
             occupancy: Duration(occupancy),
-            intervals: VecDeque::new(),
+            intervals: Timeline::new(),
             busy: Duration::ZERO,
             requests: 0,
         }
@@ -67,19 +64,78 @@ impl Resource {
             return now;
         }
         let mut start = now.0;
-        // First interval that ends after our candidate start.
-        let mut idx = self.intervals.partition_point(|&(_, end)| end <= start);
+        // Fast path: an arrival at or after the busy frontier appends a
+        // fresh interval — no search, no mid-ring insertion. Back-to-back
+        // service extends the frontier interval in place: the busy-set
+        // is identical and the timeline stays short, which keeps every
+        // later search and insertion cheap.
+        match self.intervals.back() {
+            Some((s, end)) if end == start => {
+                self.intervals.set_back((s, start + occupancy.0));
+                return Cycle(start);
+            }
+            Some((_, end)) if end < start => {
+                self.intervals.push_back((start, start + occupancy.0));
+                return Cycle(start);
+            }
+            None => {
+                self.intervals.push_back((start, start + occupancy.0));
+                return Cycle(start);
+            }
+            _ => {}
+        }
+        // Backfill: find the first interval that ends after our
+        // candidate start (ends are strictly increasing across the
+        // sorted timeline), then walk forward to the first gap that
+        // fits. Backfills cluster a few intervals behind the frontier
+        // (an outbound request slotting in under the return-leg
+        // reservations), so a short contiguous walk back from the
+        // newest interval beats a binary search's scattered probes;
+        // the search is the fallback for the rare deep backfill.
+        let mut idx = self.intervals.len();
+        let floor = idx.saturating_sub(64);
+        while idx > floor && self.intervals.get(idx - 1).1 > start {
+            idx -= 1;
+        }
+        if idx == floor && idx > 0 && self.intervals.get(idx - 1).1 > start {
+            idx = self.intervals.first_ending_after(start);
+        }
         loop {
-            let next_busy_start = self.intervals.get(idx).map(|&(s, _)| s).unwrap_or(u64::MAX);
-            if start.saturating_add(occupancy.0) <= next_busy_start {
-                self.intervals.insert(idx, (start, start + occupancy.0));
+            let next_busy_start = if idx < self.intervals.len() {
+                self.intervals.get(idx).0
+            } else {
+                u64::MAX
+            };
+            let end = start.saturating_add(occupancy.0);
+            if end <= next_busy_start {
+                // Coalesce with whichever neighbours this interval
+                // abuts — the busy-set is unchanged, but runs of
+                // back-to-back service collapse into single intervals
+                // instead of fragmenting the timeline.
+                let abuts_prev = idx > 0 && self.intervals.get(idx - 1).1 == start;
+                let abuts_next = idx < self.intervals.len() && end == next_busy_start;
+                match (abuts_prev, abuts_next) {
+                    (true, true) => {
+                        let merged = (self.intervals.get(idx - 1).0, self.intervals.get(idx).1);
+                        self.intervals.set(idx - 1, merged);
+                        self.intervals.remove(idx);
+                    }
+                    (true, false) => {
+                        let prev = self.intervals.get(idx - 1);
+                        self.intervals.set(idx - 1, (prev.0, end));
+                    }
+                    (false, true) => {
+                        let next = self.intervals.get(idx);
+                        self.intervals.set(idx, (start, next.1));
+                    }
+                    (false, false) => {
+                        self.intervals.insert(idx, (start, end));
+                    }
+                }
                 break;
             }
-            start = self.intervals[idx].1;
+            start = self.intervals.get(idx).1;
             idx += 1;
-        }
-        while self.intervals.len() > MAX_INTERVALS {
-            self.intervals.pop_front();
         }
         Cycle(start)
     }
@@ -87,7 +143,7 @@ impl Resource {
     /// The end of the latest busy interval (the resource is certainly
     /// free after this point).
     pub fn next_free(&self) -> Cycle {
-        Cycle(self.intervals.back().map(|&(_, e)| e).unwrap_or(0))
+        Cycle(self.intervals.back().map(|(_, e)| e).unwrap_or(0))
     }
 
     /// Total cycles this resource has been occupied.
@@ -134,6 +190,10 @@ impl Resource {
 #[derive(Debug, Clone)]
 pub struct BankedResource {
     banks: Vec<Resource>,
+    /// `banks - 1` when the bank count is a power of two, else 0 —
+    /// interleaving is on every modelled device access, and an AND
+    /// beats the hardware divide of `% banks`.
+    bank_mask: u64,
 }
 
 impl BankedResource {
@@ -146,20 +206,34 @@ impl BankedResource {
         assert!(banks > 0, "need at least one bank");
         BankedResource {
             banks: vec![Resource::new(occupancy); banks],
+            bank_mask: if banks.is_power_of_two() {
+                banks as u64 - 1
+            } else {
+                0
+            },
         }
     }
 
     /// Claims the bank selected by `interleave_key % banks` for a
     /// request arriving at `now`; returns the service start time.
     pub fn acquire(&mut self, now: Cycle, interleave_key: u64) -> Cycle {
-        let idx = (interleave_key % self.banks.len() as u64) as usize;
+        let idx = self.bank_index(interleave_key);
         self.banks[idx].acquire(now)
     }
 
     /// As [`BankedResource::acquire`] with an explicit occupancy.
     pub fn acquire_for(&mut self, now: Cycle, interleave_key: u64, occupancy: Duration) -> Cycle {
-        let idx = (interleave_key % self.banks.len() as u64) as usize;
+        let idx = self.bank_index(interleave_key);
         self.banks[idx].acquire_for(now, occupancy)
+    }
+
+    #[inline]
+    fn bank_index(&self, interleave_key: u64) -> usize {
+        if self.bank_mask != 0 {
+            (interleave_key & self.bank_mask) as usize
+        } else {
+            (interleave_key % self.banks.len() as u64) as usize
+        }
     }
 
     /// Number of banks.

@@ -96,19 +96,46 @@ impl Window {
     /// order work by true start time before committing to
     /// [`Window::admit`].
     pub fn would_start(&self, now: Cycle) -> Cycle {
-        let live: Vec<Cycle> = self
-            .completions
-            .iter()
-            .map(|&Reverse(c)| c)
-            .filter(|&c| c > now)
-            .collect();
-        if live.len() < self.capacity {
+        let mut live = 0usize;
+        let mut earliest = Cycle(u64::MAX);
+        for &Reverse(c) in self.completions.iter() {
+            if c > now {
+                live += 1;
+                earliest = earliest.min(c);
+            }
+        }
+        if live < self.capacity {
             now
         } else {
-            live.into_iter()
-                .min()
-                .expect("full implies non-empty")
-                .max(now)
+            earliest.max(now)
+        }
+    }
+
+    /// As [`Window::would_start`], but drains operations that already
+    /// completed at or before `now` so the prediction is an O(1) heap
+    /// peek instead of a full scan. The only mutation is forgetting
+    /// completed operations, which any later [`Window::admit`] at
+    /// `now` or after would forget anyway; statistics are untouched,
+    /// so the prediction and all observable behaviour match
+    /// [`Window::would_start`] exactly. Callers must only use this
+    /// when `now` never decreases between calls on the same window,
+    /// which holds for a core's issue clock.
+    pub fn would_start_mut(&mut self, now: Cycle) -> Cycle {
+        while let Some(&Reverse(c)) = self.completions.peek() {
+            if c <= now {
+                self.completions.pop();
+            } else {
+                break;
+            }
+        }
+        if self.completions.len() < self.capacity {
+            now
+        } else {
+            let &Reverse(earliest) = self
+                .completions
+                .peek()
+                .expect("window full implies non-empty");
+            earliest.max(now)
         }
     }
 

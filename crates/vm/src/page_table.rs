@@ -322,28 +322,28 @@ impl PageTable {
     /// each level. Stops at the first non-present entry.
     pub fn walk(&self, vpage: u64) -> Walk {
         let mut steps = Vec::with_capacity(LEVELS);
+        let mapping = self.walk_with(vpage, |s| steps.push(s));
+        Walk { steps, mapping }
+    }
+
+    /// As [`PageTable::walk`], but reports each entry read through
+    /// `visit` instead of collecting a vector — the allocation-free
+    /// form the per-reference hot path uses.
+    pub fn walk_with(&self, vpage: u64, mut visit: impl FnMut(WalkStep)) -> Option<Pte> {
         let mut node = 0usize;
         for level in 0..LEVELS {
             let idx = Self::index_at(vpage, level);
-            steps.push(WalkStep {
+            visit(WalkStep {
                 level,
                 entry_addr: self.nodes[node].base_addr + idx as u64 * ENTRY_BYTES,
             });
             match self.nodes[node].get(idx) {
                 Some(Slot::Table(n)) => node = *n,
-                Some(Slot::Leaf(pte)) => {
-                    return Walk {
-                        steps,
-                        mapping: Some(*pte),
-                    }
-                }
+                Some(Slot::Leaf(pte)) => return Some(*pte),
                 None => break,
             }
         }
-        Walk {
-            steps,
-            mapping: None,
-        }
+        None
     }
 
     /// Entry address that a walk would read at `level` for `vpage`,

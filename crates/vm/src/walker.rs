@@ -59,43 +59,49 @@ impl PageWalker {
     /// Plans the walk of `vpage` through `table`, consulting and
     /// updating `ptw_cache` if provided.
     pub fn plan(table: &PageTable, ptw_cache: Option<&mut PtwCache>, vpage: u64) -> WalkPlan {
-        let walk = table.walk(vpage);
+        let mut accesses = Vec::new();
+        let mapping = PageWalker::plan_into(table, ptw_cache, vpage, &mut accesses);
+        WalkPlan { accesses, mapping }
+    }
+
+    /// As [`PageWalker::plan`], but writes the access list into a
+    /// caller-supplied buffer (cleared first) and returns the mapping
+    /// directly. With a recycled buffer this plans a walk without
+    /// allocating — the form the simulation hot path uses.
+    pub fn plan_into(
+        table: &PageTable,
+        ptw_cache: Option<&mut PtwCache>,
+        vpage: u64,
+        out: &mut Vec<WalkAccess>,
+    ) -> Option<Pte> {
+        out.clear();
         match ptw_cache {
-            None => WalkPlan {
-                accesses: walk
-                    .steps
-                    .iter()
-                    .map(|s| WalkAccess {
-                        level: s.level,
-                        nested: false,
-                        entry_addr: s.entry_addr,
-                    })
-                    .collect(),
-                mapping: walk.mapping,
-            },
+            None => table.walk_with(vpage, |s| {
+                out.push(WalkAccess {
+                    level: s.level,
+                    nested: false,
+                    entry_addr: s.entry_addr,
+                })
+            }),
             Some(cache) => {
                 let start_level = match cache.deepest_cached(vpage) {
                     Some(l) => l + 1,
                     None => 0,
                 };
-                let accesses: Vec<WalkAccess> = walk
-                    .steps
-                    .iter()
-                    .filter(|s| s.level >= start_level)
-                    .map(|s| WalkAccess {
-                        level: s.level,
-                        nested: false,
-                        entry_addr: s.entry_addr,
-                    })
-                    .collect();
-                if walk.mapping.is_some() {
+                let mapping = table.walk_with(vpage, |s| {
+                    if s.level >= start_level {
+                        out.push(WalkAccess {
+                            level: s.level,
+                            nested: false,
+                            entry_addr: s.entry_addr,
+                        })
+                    }
+                });
+                if mapping.is_some() {
                     // A complete walk warms every interior level.
                     cache.fill(vpage, LEVELS - 2);
                 }
-                WalkPlan {
-                    accesses,
-                    mapping: walk.mapping,
-                }
+                mapping
             }
         }
     }

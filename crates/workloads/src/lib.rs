@@ -26,10 +26,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod generator;
 mod profiles;
 pub mod trace;
 
+pub use batch::RefBatch;
 pub use generator::{MemRef, TraceGenerator};
 pub use profiles::{table3, Suite, Workload};
 pub use trace::{RefStream, TraceReplay};

@@ -1,0 +1,148 @@
+//! Bit-identity guarantees of the batched fast-path engine.
+//!
+//! [`deact::System::try_run`] retires locally-provable references in a
+//! fused per-node sweep — no scheduler-heap pop/push, no per-reference
+//! allocation — and falls back to the preserved exact engine
+//! ([`deact::System::try_run_exact`]) for everything else. Like the
+//! parallel engine before it (`tests/parallel.rs`), the split must
+//! change *nothing observable*: these tests run the differential
+//! matrix — fast path vs. exact vs. parallel at 1 and 4 threads —
+//! across all four schemes, tracing on and off, and transient plus
+//! persistent fault schedules, asserting the fixed-seed reports are
+//! bit-identical everywhere.
+
+use deact::{Scheme, System, SystemConfig};
+use fam_sim::{FaultConfig, PersistentFault, TraceConfig};
+use fam_workloads::Workload;
+
+fn base_cfg(scheme: Scheme) -> SystemConfig {
+    SystemConfig::paper_default()
+        .with_scheme(scheme)
+        .with_seed(31)
+}
+
+/// Runs `bench` under every engine and asserts the reports all match
+/// the exact engine's, bit for bit.
+fn assert_matrix(cfg: SystemConfig, bench: &str, label: &str) {
+    let w = Workload::by_name(bench).expect("table3 benchmark");
+    let exact = System::new(cfg, &w).try_run_exact().expect("exact run");
+    let fast = System::new(cfg, &w).try_run().expect("fast-path run");
+    assert_eq!(
+        fast, exact,
+        "{label}: fast path diverged from the exact engine"
+    );
+    for threads in [1, 4] {
+        let par = System::new(cfg, &w)
+            .try_run_parallel(threads)
+            .expect("parallel run");
+        assert_eq!(
+            par, exact,
+            "{label}/{threads}t: parallel engine diverged from exact"
+        );
+    }
+}
+
+#[test]
+fn fast_path_matches_exact_all_schemes() {
+    for scheme in Scheme::ALL {
+        let cfg = base_cfg(scheme).with_refs_per_core(2_000);
+        assert_matrix(cfg, "sssp", &format!("sssp {scheme}"));
+    }
+}
+
+#[test]
+fn fast_path_matches_exact_all_schemes_multi_node() {
+    // Locality classification is per node; multi-node runs exercise
+    // the remote-reference fall-through and the fabric trunk.
+    for scheme in Scheme::ALL {
+        let cfg = base_cfg(scheme)
+            .with_nodes(4)
+            .with_fam_modules(4)
+            .with_refs_per_core(600);
+        assert_matrix(cfg, "astar", &format!("4-node astar {scheme}"));
+    }
+}
+
+#[test]
+fn fast_path_matches_exact_with_tracing() {
+    // The fast path must feed the tracer the same records the exact
+    // scheduler would have, in the same order.
+    for trace in [TraceConfig::breakdown_only(), TraceConfig::full()] {
+        for scheme in [Scheme::DeactN, Scheme::DeactW] {
+            let cfg = base_cfg(scheme).with_refs_per_core(1_200).with_trace(trace);
+            assert_matrix(cfg, "dc", &format!("traced dc {scheme}"));
+        }
+    }
+}
+
+#[test]
+fn fast_path_matches_exact_under_transient_faults() {
+    // Injected faults draw from the shared injector RNG on every FAM
+    // round trip; a reference wrongly retired on the fast path would
+    // skip a draw and desynchronise the whole schedule.
+    for scheme in [Scheme::IFam, Scheme::DeactN] {
+        let cfg = base_cfg(scheme)
+            .with_refs_per_core(1_500)
+            .with_fault_injection(FaultConfig::transient(7));
+        assert_matrix(cfg, "canl", &format!("faulty canl {scheme}"));
+    }
+}
+
+#[test]
+fn fast_path_matches_exact_under_persistent_faults() {
+    // Permanent failures rewrite translation state mid-run (broker
+    // evacuation, shootdown, degraded mode) — exactly the state the
+    // fast-path classifier probes.
+    for fault in [
+        PersistentFault::NodeDead { module: 1 },
+        PersistentFault::MediaFailed {
+            first_page: 0,
+            pages: 256,
+        },
+    ] {
+        for scheme in [Scheme::EFam, Scheme::DeactN] {
+            let cfg = base_cfg(scheme)
+                .with_nodes(2)
+                .with_fam_modules(2)
+                .with_refs_per_core(1_500)
+                .with_fault_injection(FaultConfig::transient(7).with_persistent(fault, 400));
+            let w = Workload::by_name("sssp").unwrap();
+            let exact = System::new(cfg, &w).try_run_exact().expect("exact run");
+            assert!(
+                !exact.degradation.is_zero(),
+                "{fault:?}/{scheme}: the persistent fault never struck"
+            );
+            assert_matrix(cfg, "sssp", &format!("{fault:?} sssp {scheme}"));
+        }
+    }
+}
+
+#[test]
+fn fast_path_matches_exact_with_faults_and_tracing_together() {
+    let cfg = base_cfg(Scheme::IFam)
+        .with_refs_per_core(1_200)
+        .with_fault_injection(FaultConfig::transient(3))
+        .with_trace(TraceConfig::full());
+    assert_matrix(cfg, "pf", "faulty traced pf I-FAM");
+}
+
+#[test]
+fn coverage_is_an_engine_diagnostic_not_a_result() {
+    // The exact engine reports zero coverage by construction; the fast
+    // path reports whatever it actually retired. Both are equal as
+    // reports because coverage is excluded from comparison.
+    let cfg = base_cfg(Scheme::DeactN).with_refs_per_core(2_000);
+    let w = Workload::by_name("sssp").unwrap();
+    let exact = System::new(cfg, &w).try_run_exact().expect("exact run");
+    let fast = System::new(cfg, &w).try_run().expect("fast-path run");
+    assert_eq!(
+        exact.fast_path_coverage, 0.0,
+        "exact engine has no fast path"
+    );
+    assert!(
+        (0.0..=1.0).contains(&fast.fast_path_coverage),
+        "coverage is a fraction, got {}",
+        fast.fast_path_coverage
+    );
+    assert_eq!(fast, exact, "coverage must not affect report equality");
+}
