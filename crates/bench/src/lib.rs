@@ -26,7 +26,9 @@ use deact::{RunReport, Scheme, SystemConfig};
 use fam_sim::{default_jobs, Stage, ThreadPool, TraceConfig};
 use fam_workloads::{table3, Workload};
 
+pub mod diff;
 pub mod figs;
+pub mod json;
 pub mod paper;
 
 /// The benchmark roster in the paper's figure order.

@@ -516,6 +516,7 @@ impl MemoryBroker {
         quarantine: Quarantine,
         evacuable: bool,
     ) -> Result<(EvacuationReport, Vec<PageRelocation>), BrokerError> {
+        let _prof = fam_sim::profile::span(fam_sim::profile::PhaseId::Evacuation);
         self.layout.set_quarantine(quarantine);
         let mut report = EvacuationReport {
             capacity_pages_lost: self.layout.quarantined_pages(),

@@ -11,6 +11,10 @@
 //!                               [--sim-threads N]      # all four schemes
 //! deact-sim trace [<benchmark>] [--out trace.json] [--window N]
 //!                 [--ring N] [plus any `run` flag]    # Perfetto trace
+//! deact-sim profile [<benchmark>] [--out profile.folded] [--top N]
+//!                   [plus any `run` flag]   # host-time phase profile
+//! deact-sim audit [<benchmark>] [plus any `run` flag]
+//!                                # metrics registry + conservation audit
 //! deact-sim list                                       # Table III roster
 //! ```
 //!
@@ -35,6 +39,16 @@
 //! trace-event JSON file loadable in Perfetto / `chrome://tracing`,
 //! then prints the per-stage latency breakdown, the windowed time
 //! series, and the ring's drop accounting.
+//!
+//! `profile` runs one benchmark with the *host-time* profiler enabled
+//! (simulated results are bit-identical either way), prints the top
+//! phases by self time, and writes a folded-stack file that
+//! `inferno-flamegraph` or <https://speedscope.app> can render.
+//!
+//! `audit` runs one benchmark, prints every component counter from the
+//! unified metrics registry, then cross-checks the conservation
+//! invariants ([`deact::System::audit`]) and exits nonzero if any
+//! fail.
 
 use std::process::ExitCode;
 
@@ -49,7 +63,10 @@ fn usage() -> ExitCode {
          [--fault-profile transient[:seed]] [--kill-node M@OP] [--sim-threads N]\n  \
          deact-sim compare <benchmark> [--refs N] [--jobs N] [--sim-threads N]\n  \
          deact-sim trace [<benchmark>] [--out trace.json] [--window N] [--ring N] \
-         [plus any `run` flag]\n  deact-sim list\n\n\
+         [plus any `run` flag]\n  \
+         deact-sim profile [<benchmark>] [--out profile.folded] [--top N] \
+         [plus any `run` flag]\n  \
+         deact-sim audit [<benchmark>] [plus any `run` flag]\n  deact-sim list\n\n\
          parallelism: --jobs runs schemes concurrently (across-run, default \
          DEACT_JOBS else all cores);\n  --sim-threads parallelizes the nodes \
          *inside* one run (intra-run, default DEACT_SIM_THREADS else 1 = \
@@ -163,6 +180,34 @@ fn extract_trace_opts(args: &[String]) -> Option<(Vec<String>, String, TraceConf
         }
     }
     Some((rest, out, trace))
+}
+
+/// Splits the profile-only options (`--out`, `--top`) out of the
+/// argument list; returns the remaining flags, the folded-stack output
+/// path, and the table depth. Returns `None` on a malformed option.
+fn extract_profile_opts(args: &[String]) -> Option<(Vec<String>, String, usize)> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut out = String::from("profile.folded");
+    let mut top = 12usize;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out = it.next()?.clone(),
+            "--top" => top = it.next()?.parse().ok().filter(|&n| n > 0)?,
+            _ => rest.push(flag.clone()),
+        }
+    }
+    Some((rest, out, top))
+}
+
+/// `[<benchmark>] [flags]` with the positional optional: subcommands
+/// that demo well on a default run (`trace`, `profile`, `audit`) fall
+/// back to `sssp`.
+fn optional_bench(args: &[String]) -> (String, &[String]) {
+    match args.first() {
+        Some(a) if !a.starts_with("--") => (a.clone(), &args[1..]),
+        _ => (String::from("sssp"), args),
+    }
 }
 
 /// Applies `--key value` pairs onto the config; returns `None` on a
@@ -424,6 +469,80 @@ fn main() -> ExitCode {
             }
             println!("wrote {out} (load it at https://ui.perfetto.dev or chrome://tracing)");
             ExitCode::SUCCESS
+        }
+        Some("profile") => {
+            let (bench, flags) = optional_bench(&args[1..]);
+            let Some((rest, out, top)) = extract_profile_opts(flags) else {
+                return usage();
+            };
+            let Some((rest, sim_threads)) = extract_sim_threads(&rest) else {
+                return usage();
+            };
+            let Some(cfg) = apply_flags(
+                SystemConfig::paper_default().with_scheme(Scheme::DeactN),
+                &rest,
+            ) else {
+                return usage();
+            };
+            // Host-time only: the profiler never reads the simulated
+            // clock, so the report below is bit-identical to an
+            // unprofiled run.
+            fam_sim::profile::set_enabled(true);
+            let r = match run_or_report(&bench, cfg, sim_threads) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
+            fam_sim::profile::set_enabled(false);
+            print_report(&r);
+            if r.profile.is_empty() {
+                eprintln!("deact-sim: profiler captured no spans");
+                return ExitCode::FAILURE;
+            }
+            println!();
+            print!("{}", r.profile.top_table(top));
+            if let Err(e) = std::fs::write(&out, r.profile.to_folded()) {
+                eprintln!("deact-sim: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {out} (render: `inferno-flamegraph < {out} > flame.svg`, \
+                 or load at https://speedscope.app)"
+            );
+            ExitCode::SUCCESS
+        }
+        Some("audit") => {
+            let (bench, flags) = optional_bench(&args[1..]);
+            let Some((rest, sim_threads)) = extract_sim_threads(flags) else {
+                return usage();
+            };
+            let Some(cfg) = apply_flags(SystemConfig::paper_default(), &rest) else {
+                return usage();
+            };
+            let Some(workload) = Workload::by_name(&bench) else {
+                eprintln!("deact-sim: unknown benchmark `{bench}` (see `deact-sim list`)");
+                return ExitCode::FAILURE;
+            };
+            let mut system = System::new(cfg, &workload);
+            let r = match system.try_run_parallel(sim_threads) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("deact-sim: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            print_report(&r);
+            println!();
+            print!("{}", system.metrics());
+            println!();
+            let audit = system.audit();
+            print!("{audit}");
+            if audit.passed() {
+                println!("audit            all {} checks passed", audit.checks.len());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("deact-sim: conservation audit FAILED");
+                ExitCode::FAILURE
+            }
         }
         Some("compare") => {
             let Some(bench) = args.get(1) else {

@@ -61,7 +61,9 @@ pub use error::SimError;
 // (`SystemConfig::with_trace`, `RunReport::latency`,
 // `System::tracer`), so re-export them for downstream convenience.
 pub use fam_sim::{LatencyBreakdown, RequestId, Stage, TraceConfig, TraceEvent, Tracer, Track};
-pub use metrics::{DegradationReport, FamTraffic, FaultRecovery, RunReport};
+pub use metrics::{
+    AuditCheck, AuditReport, DegradationReport, FamTraffic, FaultRecovery, RunReport,
+};
 pub use scheme::Scheme;
 pub use system::{run_benchmark, try_run_benchmark, try_run_benchmark_threads, System};
 pub use translator::{

@@ -205,10 +205,11 @@ impl DegradationReport {
 /// `PartialEq` compares every field (including the `f64` rates), which
 /// is exactly what the scheduler-equivalence and parallel-determinism
 /// tests need: two runs are "the same" only if they are bit-identical.
-/// The one exception is [`RunReport::fast_path_coverage`] — an
+/// The exceptions are [`RunReport::fast_path_coverage`] — an
 /// engine-dependent diagnostic (how much work the chosen engine
-/// retired off its fast path), deliberately excluded from equality so
-/// reports stay engine-independent.
+/// retired off its fast path) — and [`RunReport::profile`] — host
+/// time, nondeterministic by nature; both are deliberately excluded
+/// from equality so reports stay engine- and host-independent.
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Scheme simulated.
@@ -266,14 +267,22 @@ pub struct RunReport {
     /// Engine-dependent: excluded from `PartialEq` (and zero for the
     /// preserved exact engines).
     pub fast_path_coverage: f64,
+    /// Host-time profile of the run (empty unless
+    /// `fam_sim::profile::set_enabled(true)` was in effect). Host
+    /// nanoseconds are nondeterministic by nature, so like
+    /// `fast_path_coverage` this is a diagnostic excluded from
+    /// `PartialEq` — profiled and unprofiled runs compare equal, and a
+    /// differential test pins that the *included* fields really are
+    /// bit-identical either way.
+    pub profile: fam_sim::ProfileReport,
 }
 
 impl PartialEq for RunReport {
     fn eq(&self, other: &RunReport) -> bool {
-        // Every field except `fast_path_coverage`, which is a property
-        // of the engine that produced the report, not of the simulated
-        // system. Destructure so adding a field without deciding its
-        // equality role fails to compile.
+        // Every field except `fast_path_coverage` (a property of the
+        // engine that produced the report) and `profile` (host time,
+        // not simulated state). Destructure so adding a field without
+        // deciding its equality role fails to compile.
         let RunReport {
             scheme,
             workload,
@@ -295,6 +304,7 @@ impl PartialEq for RunReport {
             refs_per_core,
             latency,
             fast_path_coverage: _,
+            profile: _,
         } = self;
         *scheme == other.scheme
             && *workload == other.workload
@@ -315,6 +325,59 @@ impl PartialEq for RunReport {
             && *degradation == other.degradation
             && *refs_per_core == other.refs_per_core
             && *latency == other.latency
+    }
+}
+
+/// One conservation-audit check: an invariant the system's counters
+/// must satisfy at end of run.
+#[derive(Debug, Clone)]
+pub struct AuditCheck {
+    /// Stable check name (e.g. `refs-conservation`).
+    pub name: &'static str,
+    /// Whether the invariant held.
+    pub passed: bool,
+    /// Human-readable statement of the invariant with both sides'
+    /// values, or the reason the check was skipped.
+    pub detail: String,
+}
+
+/// The result of [`crate::System::audit`]: every cross-metric
+/// conservation invariant, with pass/fail/skip detail.
+///
+/// Checks that depend on fault injection being off (fabric traversal
+/// parity) or on no permanent failure being scheduled (NVM/traffic
+/// balance, drop accounting) are *skipped* — reported passing with a
+/// "skipped" detail — rather than misapplied.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Every check performed, in a stable order.
+    pub checks: Vec<AuditCheck>,
+}
+
+impl AuditReport {
+    /// True when every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// The checks that failed.
+    pub fn failures(&self) -> impl Iterator<Item = &AuditCheck> {
+        self.checks.iter().filter(|c| !c.passed)
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for c in &self.checks {
+            writeln!(
+                f,
+                "[{}] {:<24} {}",
+                if c.passed { "ok" } else { "FAIL" },
+                c.name,
+                c.detail
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -392,6 +455,7 @@ mod tests {
             refs_per_core: 10,
             latency: LatencyBreakdown::default(),
             fast_path_coverage: 0.0,
+            profile: fam_sim::ProfileReport::default(),
         }
     }
 
@@ -402,6 +466,22 @@ mod tests {
         b.fast_path_coverage = 0.75;
         assert_eq!(a, b, "coverage is an engine diagnostic, not a result");
         b.cycles += 1;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reports_differing_only_in_profile_are_equal() {
+        let a = report(1.0);
+        let mut b = report(1.0);
+        fam_sim::profile::set_enabled(true);
+        {
+            let _s = fam_sim::profile::span(fam_sim::PhaseId::Tlb);
+        }
+        fam_sim::profile::set_enabled(false);
+        b.profile = fam_sim::profile::take_report();
+        assert!(!b.profile.is_empty(), "the span above must have recorded");
+        assert_eq!(a, b, "host-time profile is a diagnostic, not a result");
+        b.instructions += 1;
         assert_ne!(a, b);
     }
 

@@ -80,6 +80,11 @@ pub struct CoreState {
     pub instructions: u64,
     /// References completed.
     pub refs_done: u64,
+    /// References drawn from the stream and staged for execution.
+    /// Pure bookkeeping for the end-of-run conservation audit
+    /// (`staged == refs_done` once every staged reference retired);
+    /// never read by any timing path, so it cannot affect reports.
+    pub staged: u64,
     /// Completion time of the core's last reference.
     pub finish: Cycle,
 }
@@ -153,6 +158,7 @@ impl Node {
                 last_mem_completion: Cycle::ZERO,
                 instructions: 0,
                 refs_done: 0,
+                staged: 0,
                 finish: Cycle::ZERO,
             })
             .collect();
@@ -233,6 +239,7 @@ impl Node {
         vaddr: VirtAddr,
         broker: &mut MemoryBroker,
     ) -> Result<(), BrokerError> {
+        let _prof = fam_sim::profile::span(fam_sim::profile::PhaseId::PageWalk);
         let vpage = vaddr.vpage();
         self.faults += 1;
         let go_local = self.placement_rng.chance(self.local_fraction)

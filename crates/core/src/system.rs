@@ -6,6 +6,7 @@ use fam_broker::{AccessKind, BrokerConfig, MemoryBroker, PageRelocation, Quarant
 use fam_fabric::packet::{Packet, PacketKind, RESPONSE_BYTES};
 use fam_fabric::Fabric;
 use fam_mem::{MemOpKind, NvmModel};
+use fam_sim::profile::{self, PhaseId};
 use fam_sim::{
     Cycle, Duration, FabricFault, FaultInjector, FreeList, IndexedMinHeap, PersistentFault,
     RequestId, Stage, TraceEvent, Tracer, Track, WindowSample,
@@ -15,7 +16,9 @@ use fam_vm::{NodeId, Pte, VirtAddr, WalkAccess, PAGE_BYTES};
 use fam_workloads::{MemRef, RefStream, TraceGenerator, Workload};
 
 use crate::error::SimError;
-use crate::metrics::{DegradationReport, FamTraffic, FaultRecovery, RunReport};
+use crate::metrics::{
+    AuditCheck, AuditReport, DegradationReport, FamTraffic, FaultRecovery, RunReport,
+};
 use crate::node::{CoreState, Node, FAM_KEY_PAGE};
 use crate::translator::{RetryOutcome, RetryState};
 use crate::{Scheme, SystemConfig};
@@ -370,7 +373,12 @@ impl System {
         // timelines advance in time order. (Out-of-order processing
         // would let a far-future request push a resource's timeline
         // past everyone else's present.)
-        while let Some((slot, _)) = ready_queue.pop() {
+        loop {
+            let popped = {
+                let _prof = profile::span(PhaseId::SchedPop);
+                ready_queue.pop()
+            };
+            let Some((slot, _)) = popped else { break };
             let (n, c) = (slot / cores_per_node, slot % cores_per_node);
             self.sim_ref(n, c)?;
             if self.nodes[n].cores[c].refs_done < refs {
@@ -430,7 +438,12 @@ impl System {
                 }
             }
         }
-        while let Some((slot, _)) = ready_queue.pop() {
+        loop {
+            let popped = {
+                let _prof = profile::span(PhaseId::SchedPop);
+                ready_queue.pop()
+            };
+            let Some((slot, _)) = popped else { break };
             let (n, c) = (slot / cores_per_node, slot % cores_per_node);
             self.sim_ref(n, c)?;
             if self.nodes[n].cores[c].refs_done < refs {
@@ -454,6 +467,7 @@ impl System {
         refs: u64,
         horizon: Cycle,
     ) {
+        let _prof = profile::span(PhaseId::FastpathRetire);
         let issue_width = u64::from(self.config.issue_width);
         let node = &mut self.nodes[n];
         let retired = node_local_phase(n, node, &mut self.tracer, horizon, issue_width, refs);
@@ -660,6 +674,7 @@ impl System {
                     .map(|(n, (node, shard))| (n, node, shard))
                     .collect();
                 let retired = fam_sim::scoped_map_mut(phase_threads, &mut active, |_, item| {
+                    let _prof = profile::span(PhaseId::ParallelLocal);
                     let (n, node, shard) = item;
                     node_local_phase(*n, node, shard, horizon, issue_width, refs)
                 });
@@ -678,6 +693,7 @@ impl System {
 
             // Phase 2: sequential commit of everything left below the
             // horizon, in global (ready, slot) order.
+            let _prof = profile::span(PhaseId::ParallelCommit);
             debug_assert!(commit_queue.is_empty());
             for n in 0..self.nodes.len() {
                 for c in 0..self.nodes[n].cores.len() {
@@ -689,7 +705,12 @@ impl System {
                     }
                 }
             }
-            while let Some((slot, _)) = commit_queue.pop() {
+            loop {
+                let popped = {
+                    let _prof = profile::span(PhaseId::SchedPop);
+                    commit_queue.pop()
+                };
+                let Some((slot, _)) = popped else { break };
                 let (n, c) = (slot / cores_per_node, slot % cores_per_node);
                 self.sim_ref(n, c)?;
                 if self.nodes[n].cores[c].refs_done < refs {
@@ -744,6 +765,7 @@ impl System {
     /// Simulates one staged reference of core `c` on node `n` end to
     /// end.
     fn sim_ref(&mut self, n: usize, c: usize) -> Result<(), SimError> {
+        let _prof = profile::span(PhaseId::SchedDispatch);
         let (r, req, t) = {
             let core = &mut self.nodes[n].cores[c];
             let p = core
@@ -1308,6 +1330,7 @@ impl System {
     /// cycle per invalidated entry, serialized on the broker's
     /// management port).
     fn shootdown_all_nodes(&mut self, relocations: &[PageRelocation]) -> Duration {
+        let _prof = profile::span(PhaseId::Shootdown);
         let mut invalidations = 0u64;
         let mut cost = Duration(0);
         for m in 0..self.nodes.len() {
@@ -1784,7 +1807,16 @@ impl System {
     }
 
     /// Assembles the run report.
+    ///
+    /// In debug builds every successful run also passes the
+    /// end-of-run conservation audit, so the whole test suite doubles
+    /// as an invariant checker.
     fn report(&self) -> RunReport {
+        #[cfg(debug_assertions)]
+        {
+            let audit = self.audit();
+            debug_assert!(audit.passed(), "conservation audit failed:\n{audit}");
+        }
         let instructions: u64 = self.nodes.iter().map(Node::instructions).sum();
         let cycles = self
             .nodes
@@ -1856,6 +1888,11 @@ impl System {
                     (self.fast_path_refs + self.local_phase_refs) as f64 / total as f64
                 }
             },
+            profile: if profile::is_enabled() {
+                profile::take_report()
+            } else {
+                fam_sim::ProfileReport::default()
+            },
         }
     }
 
@@ -1869,6 +1906,216 @@ impl System {
         r.injected_stale = injected.stale_marks.value();
         r.injected_stu_stalls = injected.stu_stalls.value();
         r
+    }
+
+    /// Collects every component's raw counters into one named
+    /// [`fam_sim::Registry`] snapshot.
+    ///
+    /// Names are hierarchical and stable: `node{n}/…` for per-node
+    /// state, `nvm{m}/…` per FAM module, `traffic/…` for the
+    /// cross-fabric request mix, and `recovery/…` for the fault
+    /// ledger. [`System::audit`] consumes this snapshot, and the
+    /// `deact-sim audit` subcommand prints it.
+    pub fn metrics(&self) -> fam_sim::Registry {
+        let mut reg = fam_sim::Registry::new();
+        for (n, node) in self.nodes.iter().enumerate() {
+            let mut tlb = fam_sim::stats::Ratio::new();
+            let mut staged = 0u64;
+            let mut refs_done = 0u64;
+            for core in &node.cores {
+                tlb.merge(core.tlb.stats());
+                staged = staged.saturating_add(core.staged);
+                refs_done = refs_done.saturating_add(core.refs_done);
+            }
+            *reg.ratio(&format!("node{n}/tlb")) = tlb;
+            reg.counter(&format!("node{n}/staged")).add(staged);
+            reg.counter(&format!("node{n}/refs_done")).add(refs_done);
+            reg.counter(&format!("node{n}/faults")).add(node.faults);
+            reg.counter(&format!("node{n}/dram_reads"))
+                .add(node.dram.reads());
+            reg.counter(&format!("node{n}/dram_writes"))
+                .add(node.dram.writes());
+            *reg.ratio(&format!("node{n}/llc")) = node.hierarchy.llc_stats();
+        }
+        for (m, nvm) in self.nvm.iter().enumerate() {
+            reg.counter(&format!("nvm{m}/reads")).add(nvm.reads());
+            reg.counter(&format!("nvm{m}/writes")).add(nvm.writes());
+            reg.counter(&format!("nvm{m}/admission_stalls"))
+                .add(nvm.admission_stalls());
+        }
+        for (s, stu) in self.stus.iter().enumerate() {
+            *reg.ratio(&format!("stu{s}/acm")) = stu.acm_stats();
+        }
+        reg.counter("fabric/traversals")
+            .add(self.fabric.traversals());
+        let t = &self.traffic;
+        reg.counter("traffic/data_reads").add(t.data_reads);
+        reg.counter("traffic/data_writes").add(t.data_writes);
+        reg.counter("traffic/writebacks").add(t.writebacks);
+        reg.counter("traffic/at_pte_reads").add(t.at_pte_reads);
+        reg.counter("traffic/at_walk_reads").add(t.at_walk_reads);
+        reg.counter("traffic/at_acm_reads").add(t.at_acm_reads);
+        reg.counter("traffic/at_bitmap_reads")
+            .add(t.at_bitmap_reads);
+        let r = self.recovery_report();
+        reg.counter("recovery/timeouts").add(r.timeouts);
+        reg.counter("recovery/retries").add(r.retries);
+        reg.counter("recovery/nacks_corrupt").add(r.nacks_corrupt);
+        reg.counter("recovery/nacks_stale").add(r.nacks_stale);
+        reg.counter("recovery/nacks_unreachable")
+            .add(r.nacks_unreachable);
+        reg.counter("recovery/recovered").add(r.recovered);
+        reg.counter("recovery/fatal").add(r.fatal);
+        reg.counter("recovery/injected_drops").add(r.injected_drops);
+        reg.counter("recovery/injected_corruptions")
+            .add(r.injected_corruptions);
+        reg
+    }
+
+    /// End-of-run conservation audit: cross-checks independently
+    /// maintained counters against each other through the
+    /// [`System::metrics`] registry.
+    ///
+    /// Invariants checked (each sums over the registry snapshot):
+    ///
+    /// 1. `refs-conservation` — every staged reference retired
+    ///    (poisoned accesses retire through the degraded path, so
+    ///    they are *included* in `refs_done`).
+    /// 2. `tlb-conservation` — exactly one TLB hierarchy lookup per
+    ///    retired reference, on every engine.
+    /// 3. `nvm-traffic-balance` — every FAM traffic increment lands
+    ///    exactly one NVM access; skipped when a permanent failure is
+    ///    scheduled (evacuation copies bypass the traffic ledger).
+    /// 4. `fabric-parity` — reads cross the fabric twice and posted
+    ///    writebacks once, so `traversals == 2*total - writebacks`;
+    ///    skipped when fault injection is enabled (retries and NACKs
+    ///    add traversals).
+    /// 5. `drop-accounting` — every injected drop was seen as exactly
+    ///    one timeout; skipped under permanent failures (a dead
+    ///    module times out without injector bookkeeping).
+    /// 6. `crc-detection` — CRC-16 catches every injected corruption
+    ///    as a corrupt NACK; skipped under permanent failures.
+    pub fn audit(&self) -> AuditReport {
+        let reg = self.metrics();
+        let sum = |suffix: &str| -> u64 {
+            (0..self.nodes.len())
+                .filter_map(|n| reg.counter_value(&format!("node{n}/{suffix}")))
+                .sum()
+        };
+        let mut checks = Vec::new();
+        fn check(
+            checks: &mut Vec<AuditCheck>,
+            name: &'static str,
+            lhs: (&str, u64),
+            rhs: (&str, u64),
+        ) {
+            checks.push(AuditCheck {
+                name,
+                passed: lhs.1 == rhs.1,
+                detail: format!("{} = {} vs {} = {}", lhs.0, lhs.1, rhs.0, rhs.1),
+            });
+        }
+        fn skip(checks: &mut Vec<AuditCheck>, name: &'static str, why: &str) {
+            checks.push(AuditCheck {
+                name,
+                passed: true,
+                detail: format!("skipped: {why}"),
+            });
+        }
+
+        let refs_done = sum("refs_done");
+        check(
+            &mut checks,
+            "refs-conservation",
+            ("staged", sum("staged")),
+            ("refs_done", refs_done),
+        );
+        let tlb_lookups: u64 = (0..self.nodes.len())
+            .filter_map(|n| reg.ratio_value(&format!("node{n}/tlb")))
+            .map(|r| r.total())
+            .sum();
+        check(
+            &mut checks,
+            "tlb-conservation",
+            ("tlb lookups", tlb_lookups),
+            ("refs_done", refs_done),
+        );
+
+        let traffic_total = self.traffic.total();
+        let persistent = self.injector.persistent_schedule().is_some();
+        if persistent {
+            skip(
+                &mut checks,
+                "nvm-traffic-balance",
+                "permanent failure scheduled",
+            );
+        } else {
+            let nvm_accesses: u64 = (0..self.nvm.len())
+                .map(|m| {
+                    reg.counter_value(&format!("nvm{m}/reads")).unwrap_or(0)
+                        + reg.counter_value(&format!("nvm{m}/writes")).unwrap_or(0)
+                })
+                .sum();
+            check(
+                &mut checks,
+                "nvm-traffic-balance",
+                ("nvm accesses", nvm_accesses),
+                ("traffic total", traffic_total),
+            );
+        }
+
+        if self.injector.is_enabled() {
+            skip(&mut checks, "fabric-parity", "fault injection enabled");
+        } else {
+            check(
+                &mut checks,
+                "fabric-parity",
+                (
+                    "fabric traversals",
+                    reg.counter_value("fabric/traversals").unwrap_or(0),
+                ),
+                (
+                    "2*traffic - writebacks",
+                    2 * traffic_total - self.traffic.writebacks,
+                ),
+            );
+        }
+
+        if persistent {
+            skip(
+                &mut checks,
+                "drop-accounting",
+                "permanent failure scheduled",
+            );
+            skip(&mut checks, "crc-detection", "permanent failure scheduled");
+        } else {
+            check(
+                &mut checks,
+                "drop-accounting",
+                (
+                    "timeouts",
+                    reg.counter_value("recovery/timeouts").unwrap_or(0),
+                ),
+                (
+                    "injected drops",
+                    reg.counter_value("recovery/injected_drops").unwrap_or(0),
+                ),
+            );
+            check(
+                &mut checks,
+                "crc-detection",
+                (
+                    "corrupt NACKs",
+                    reg.counter_value("recovery/nacks_corrupt").unwrap_or(0),
+                ),
+                (
+                    "injected corruptions",
+                    reg.counter_value("recovery/injected_corruptions")
+                        .unwrap_or(0),
+                ),
+            );
+        }
+        AuditReport { checks }
     }
 }
 
@@ -1884,6 +2131,7 @@ fn access_kind(kind: MemOpKind) -> AccessKind {
 /// node-local phase (which draws `req` from a per-node shard tracer
 /// instead of the system one).
 fn stage_core(core: &mut CoreState, issue_width: u64, req: RequestId) {
+    core.staged += 1;
     // Struct-of-arrays batching: the enum-dispatched generator call is
     // paid once per `RefBatch::DEFAULT_LEN` references; the steady
     // state is an indexed pop. Order is exactly the unbatched stream's.
@@ -1934,6 +2182,7 @@ fn front_of(node: &Node) -> Option<(Cycle, usize)> {
 /// node DRAM *and* evict — if anything — a DRAM-backed victim (FAM
 /// misses and FAM writebacks ride the fabric).
 fn probe_local(node: &Node, c: usize, p: &crate::node::PendingRef) -> Option<(Pte, u64, bool)> {
+    let _prof = profile::span(PhaseId::FastpathClassify);
     let pte = node.cores[c].tlb.probe(p.mem.vaddr.vpage())?;
     let phys_byte = pte.target_page * PAGE_BYTES + p.mem.vaddr.offset();
     let line = phys_byte / 64;

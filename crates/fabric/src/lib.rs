@@ -91,6 +91,7 @@ impl Fabric {
     }
 
     fn traverse(&mut self, now: Cycle, node: usize, flits: u64) -> Cycle {
+        let _prof = fam_sim::profile::span(fam_sim::profile::PhaseId::Fabric);
         assert!(node < self.links.len(), "unknown node {node}");
         self.traversals.inc();
         let flits = flits.max(1);

@@ -128,6 +128,7 @@ impl CacheHierarchy {
     ///
     /// Panics if `core` is out of range.
     pub fn access(&mut self, core: usize, line_addr: u64, is_write: bool) -> LookupResult {
+        let _prof = fam_sim::profile::span(fam_sim::profile::PhaseId::CacheHierarchy);
         let mut latency = Duration(self.config.l1_latency);
 
         if let Some(dirty) = self.l1[core].get_mut(line_addr) {

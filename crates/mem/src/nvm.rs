@@ -90,6 +90,7 @@ impl NvmModel {
     /// Services an operation on the block containing `byte_addr`
     /// arriving at `now`; returns the completion time.
     pub fn access(&mut self, now: Cycle, byte_addr: u64, kind: MemOpKind) -> Cycle {
+        let _prof = fam_sim::profile::span(fam_sim::profile::PhaseId::Nvm);
         match kind {
             MemOpKind::Read => self.reads.inc(),
             MemOpKind::Write => self.writes.inc(),

@@ -30,6 +30,13 @@
 //!   bounded ring buffer with drop accounting, per-stage latency
 //!   histograms, a Chrome trace-event exporter and a windowed time
 //!   series; like the fault injector, a zero-cost no-op when disabled.
+//! * [`profile`] — a scoped *host-time* profiler: RAII [`PhaseId`]
+//!   spans accumulate per-thread into a hierarchical [`ProfileReport`]
+//!   (self vs. children time, folded-stack export); one relaxed atomic
+//!   load when disabled.
+//! * [`registry`] — a unified named metrics [`Registry`] with
+//!   snapshot/diff/merge, the substrate of end-of-run conservation
+//!   audits.
 //!
 //! # Examples
 //!
@@ -53,7 +60,9 @@ mod event;
 mod fault;
 pub mod hash;
 mod pool;
+pub mod profile;
 mod queue;
+pub mod registry;
 mod resource;
 mod rng;
 pub mod stats;
@@ -67,7 +76,9 @@ pub use fault::{
     FabricFault, FaultConfig, FaultInjector, FaultStats, PersistentFault, PersistentSchedule,
 };
 pub use pool::{default_jobs, scoped_map, scoped_map_mut, FreeList, ThreadPool};
+pub use profile::{PhaseId, PhaseStat, ProfileReport};
 pub use queue::IndexedMinHeap;
+pub use registry::{Metric, Registry};
 pub use resource::{BankedResource, Resource};
 pub use rng::SimRng;
 pub use trace::{

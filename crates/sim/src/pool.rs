@@ -98,6 +98,11 @@ impl ThreadPool {
                         }
                     };
                     job();
+                    // Long-lived workers publish any profiler spans the
+                    // job recorded as soon as it completes.
+                    if crate::profile::is_enabled() {
+                        crate::profile::flush_thread();
+                    }
                 })
             })
             .collect();
@@ -183,13 +188,21 @@ where
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(i);
+                    *results[i].lock().expect("result slot poisoned") = Some(value);
                 }
-                let value = f(i);
-                *results[i].lock().expect("result slot poisoned") = Some(value);
+                // scope() unblocks on closure return, before TLS
+                // destructors run — flush profiler spans explicitly so
+                // the caller's take_report sees this worker's data.
+                if crate::profile::is_enabled() {
+                    crate::profile::flush_thread();
+                }
             });
         }
     });
@@ -253,18 +266,25 @@ where
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = cells[i]
+                        .lock()
+                        .expect("item cell poisoned")
+                        .take()
+                        .expect("each index is claimed once");
+                    let value = f(i, item);
+                    *results[i].lock().expect("result slot poisoned") = Some(value);
                 }
-                let item = cells[i]
-                    .lock()
-                    .expect("item cell poisoned")
-                    .take()
-                    .expect("each index is claimed once");
-                let value = f(i, item);
-                *results[i].lock().expect("result slot poisoned") = Some(value);
+                // As in scoped_map: publish profiler spans before the
+                // scope's completion signal, not in a TLS destructor.
+                if crate::profile::is_enabled() {
+                    crate::profile::flush_thread();
+                }
             });
         }
     });

@@ -28,14 +28,15 @@ impl Counter {
         Counter(0)
     }
 
-    /// Adds one.
+    /// Adds one, saturating at `u64::MAX` so billion-ref runs can
+    /// never wrap silently.
     pub fn inc(&mut self) {
-        self.0 += 1;
+        self.0 = self.0.saturating_add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n`, saturating at `u64::MAX`.
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
 
     /// Current value.
@@ -46,6 +47,14 @@ impl Counter {
     /// Resets to zero.
     pub fn reset(&mut self) {
         self.0 = 0;
+    }
+}
+
+impl From<u64> for Counter {
+    /// Creates a counter holding `value` — used by registry
+    /// snapshot/diff arithmetic.
+    fn from(value: u64) -> Counter {
+        Counter(value)
     }
 }
 
@@ -79,6 +88,12 @@ impl Ratio {
     /// Creates an empty ratio.
     pub fn new() -> Ratio {
         Ratio::default()
+    }
+
+    /// Creates a ratio from pre-counted hit/miss totals — used by
+    /// registry snapshot/diff arithmetic.
+    pub fn from_parts(hits: u64, misses: u64) -> Ratio {
+        Ratio { hits, misses }
     }
 
     /// Records a hit.
@@ -190,9 +205,11 @@ impl Histogram {
         } else {
             64 - sample.leading_zeros() as usize
         };
-        self.buckets[b] += 1;
-        self.count += 1;
-        self.sum += sample;
+        self.buckets[b] = self.buckets[b].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        // Saturating: a billion-ref run summing large latencies must
+        // degrade to a pinned mean, never wrap to a tiny one.
+        self.sum = self.sum.saturating_add(sample);
         self.max = self.max.max(sample);
     }
 
@@ -274,11 +291,28 @@ impl Histogram {
     /// ```
     pub fn merge(&mut self, other: &Histogram) {
         for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
-            *mine += theirs;
+            *mine = mine.saturating_add(*theirs);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
+    }
+
+    /// Bucket-wise saturating difference `self - base`, for diffing a
+    /// later snapshot against an earlier one of the same histogram.
+    ///
+    /// `max` is carried over from `self`: buckets and sums are
+    /// monotonic under `record` so subtraction recovers the interval
+    /// exactly, but the interval's true maximum is not recoverable —
+    /// the carried value is an upper bound.
+    pub fn saturating_diff(&self, base: &Histogram) -> Histogram {
+        let mut out = self.clone();
+        for (mine, theirs) in out.buckets.iter_mut().zip(&base.buckets) {
+            *mine = mine.saturating_sub(*theirs);
+        }
+        out.count = self.count.saturating_sub(base.count);
+        out.sum = self.sum.saturating_sub(base.sum);
+        out
     }
 
     /// Resets all buckets.
@@ -447,5 +481,95 @@ mod tests {
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert_eq!(geomean(&[]), 1.0);
         assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_edge_cases_stay_finite() {
+        // Empty slice is the multiplicative identity.
+        assert_eq!(geomean(&[]), 1.0);
+        // Zeros are clamped to the smallest positive double instead of
+        // producing -inf logs: the result is finite, non-negative, and
+        // effectively zero.
+        let g = geomean(&[0.0, 0.0, 0.0]);
+        assert!(g.is_finite() && (0.0..1e-300).contains(&g), "got {g}");
+        // A single zero drags the mean down but never poisons it.
+        let g = geomean(&[0.0, 4.0, 16.0]);
+        assert!(g.is_finite() && g >= 0.0, "got {g}");
+        // Monotonicity spot check: replacing the zero with a positive
+        // value can only increase the mean.
+        assert!(g <= geomean(&[1.0, 4.0, 16.0]));
+    }
+
+    /// Property: merging shard histograms then asking for a quantile
+    /// gives exactly the same answer as recording every sample into
+    /// one histogram — merge must be lossless for every derived stat.
+    #[test]
+    fn histogram_merge_then_quantile_matches_record_all() {
+        let mut rng = crate::SimRng::seeded(0xC0FFEE);
+        for round in 0..50 {
+            let shards = 1 + (round % 4);
+            let mut merged = Histogram::new();
+            let mut whole = Histogram::new();
+            for _ in 0..shards {
+                let mut shard = Histogram::new();
+                let n = rng.below(200);
+                for _ in 0..n {
+                    // Spread samples across many buckets, including 0.
+                    let sample = rng.next_u64() >> (rng.below(64) as u32);
+                    shard.record(sample);
+                    whole.record(sample);
+                }
+                merged.merge(&shard);
+            }
+            assert_eq!(merged, whole, "round {round}: merge must be lossless");
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(
+                    merged.quantile(q),
+                    whole.quantile(q),
+                    "round {round}, q={q}"
+                );
+            }
+            assert_eq!(merged.mean(), whole.mean(), "round {round}");
+            assert_eq!(merged.max(), whole.max(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn saturating_arithmetic_pins_instead_of_wrapping() {
+        let mut c = Counter::from(u64::MAX - 1);
+        c.add(100);
+        assert_eq!(c.value(), u64::MAX);
+        c.inc();
+        assert_eq!(c.value(), u64::MAX);
+
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum pins at the ceiling");
+        assert_eq!(h.count(), 2);
+        let mut other = Histogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn histogram_saturating_diff_recovers_interval() {
+        let mut base = Histogram::new();
+        for v in [1, 2, 3] {
+            base.record(v);
+        }
+        let mut later = base.clone();
+        for v in [10, 2000] {
+            later.record(v);
+        }
+        let diff = later.saturating_diff(&base);
+        assert_eq!(diff.count(), 2);
+        assert_eq!(diff.sum(), 2010);
+        let mut interval = Histogram::new();
+        interval.record(10);
+        interval.record(2000);
+        assert_eq!(diff.quantile(0.5), interval.quantile(0.5));
     }
 }

@@ -183,6 +183,7 @@ impl Stu {
         kind: AccessKind,
         req: RequestId,
     ) -> Result<IFamTranslation, UnmappedFault> {
+        let _prof = fam_sim::profile::span(fam_sim::profile::PhaseId::Stu);
         self.stats.verifications.inc();
         if let Some(fam_page) = self.cache.ifam_lookup(npa_page) {
             let allowed = broker.check_access(node, fam_page, kind);
@@ -228,6 +229,7 @@ impl Stu {
         kind: AccessKind,
         req: RequestId,
     ) -> DeactVerification {
+        let _prof = fam_sim::profile::span(fam_sim::profile::PhaseId::Stu);
         self.stats.verifications.inc();
         let layout = broker.layout();
         let fam_addr = fam_vm::FamAddr(fam_page * fam_vm::PAGE_BYTES);
@@ -275,6 +277,7 @@ impl Stu {
         npa_page: u64,
         req: RequestId,
     ) -> Result<(u64, WalkPlan), UnmappedFault> {
+        let _prof = fam_sim::profile::span(fam_sim::profile::PhaseId::Stu);
         let table = broker
             .system_table(node)
             .expect("node must be registered before issuing requests");

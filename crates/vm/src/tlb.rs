@@ -98,6 +98,7 @@ impl TlbHierarchy {
     /// Looks up `vpage`; on an L2 hit the entry is promoted to L1.
     /// Returns the hit level, the lookup latency, and the PTE if found.
     pub fn lookup(&mut self, vpage: u64) -> (TlbHit, Duration, Option<Pte>) {
+        let _prof = fam_sim::profile::span(fam_sim::profile::PhaseId::Tlb);
         let mut latency = Duration(self.config.l1_latency);
         if let Some(pte) = self.l1.get(vpage).copied() {
             self.overall.hit();

@@ -74,6 +74,7 @@ impl PageWalker {
         vpage: u64,
         out: &mut Vec<WalkAccess>,
     ) -> Option<Pte> {
+        let _prof = fam_sim::profile::span(fam_sim::profile::PhaseId::PageWalk);
         out.clear();
         match ptw_cache {
             None => table.walk_with(vpage, |s| {

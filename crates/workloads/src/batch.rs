@@ -83,6 +83,7 @@ impl RefBatch {
     /// of `stream`, resolving the stream variant once for the whole
     /// batch.
     pub fn refill(&mut self, stream: &mut RefStream, n: usize) {
+        let _prof = fam_sim::profile::span(fam_sim::profile::PhaseId::BatchGen);
         self.vaddrs.clear();
         self.gaps.clear();
         self.flags.clear();
