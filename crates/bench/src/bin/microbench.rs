@@ -135,8 +135,10 @@ fn bench_scheduler_scaling(records: &mut Vec<Record>) {
 /// 16-node run under [`deact::System::try_run_parallel`] at 1, 2 and
 /// 4 threads (1 = the sequential engine, the denominator of the
 /// speedup). Reports are bit-identical across the sweep, so this
-/// measures pure wall-clock, not behaviour.
-fn bench_parallel_scaling(records: &mut Vec<Record>) -> f64 {
+/// measures pure wall-clock, not behaviour. Returns the 4-thread
+/// speedup and the (thread-count-invariant) fraction of references
+/// the epoch shards retired — the coverage the speedup is bounded by.
+fn bench_parallel_scaling(records: &mut Vec<Record>) -> (f64, f64) {
     let cfg = SystemConfig::paper_default()
         .with_scheme(Scheme::DeactN)
         .with_nodes(16)
@@ -148,12 +150,16 @@ fn bench_parallel_scaling(records: &mut Vec<Record>) -> f64 {
     let total_refs = cfg.refs_per_core * (cfg.nodes * cfg.cores_per_node) as u64;
     let mut sequential_ns = f64::NAN;
     let mut speedup_4t = f64::NAN;
+    let mut coverage = 0.0;
     for threads in [1usize, 2, 4] {
         let samples: Vec<f64> = (0..SCHED_REPS)
             .map(|_| {
                 let start = Instant::now();
                 let report = deact::System::new(cfg, &w).run_parallel(threads);
                 let elapsed = start.elapsed().as_nanos() as f64;
+                if threads > 1 {
+                    coverage = report.parallel_phase_coverage;
+                }
                 black_box(report.cycles);
                 elapsed / total_refs as f64
             })
@@ -175,7 +181,8 @@ fn bench_parallel_scaling(records: &mut Vec<Record>) -> f64 {
             ns_per_op: ns,
         });
     }
-    speedup_4t
+    println!("parallel_phase_coverage      {:>7.1} %", coverage * 100.0);
+    (speedup_4t, coverage)
 }
 
 /// Per-reference cost of the fused fast-path engine on `sp`, the
@@ -245,6 +252,7 @@ fn write_json(
     records: &[Record],
     throughput: &Throughput,
     parallel_speedup_4t: f64,
+    parallel_phase_coverage: f64,
 ) -> std::io::Result<()> {
     use std::io::Write;
     let mut out = String::from("{\n  \"schema\": \"deact-microbench-v1\",\n");
@@ -264,6 +272,9 @@ fn write_json(
     out.push_str("  ],\n");
     out.push_str(&format!(
         "  \"parallel_speedup_4t\": {parallel_speedup_4t:.3},\n"
+    ));
+    out.push_str(&format!(
+        "  \"parallel_phase_coverage\": {parallel_phase_coverage:.4},\n"
     ));
     out.push_str(&format!(
         "  \"throughput\": {{\"benchmark\": \"sssp\", \"total_refs\": {}, \
@@ -434,10 +445,16 @@ fn main() {
     );
     bench_scheduler_scaling(&mut records);
     bench_fastpath(&mut records);
-    let parallel_speedup_4t = bench_parallel_scaling(&mut records);
+    let (parallel_speedup_4t, parallel_phase_coverage) = bench_parallel_scaling(&mut records);
     let throughput = bench_throughput();
 
-    match write_json(&out_path, &records, &throughput, parallel_speedup_4t) {
+    match write_json(
+        &out_path,
+        &records,
+        &throughput,
+        parallel_speedup_4t,
+        parallel_phase_coverage,
+    ) {
         Ok(()) => println!("\nwrote {out_path} ({} entries)", records.len()),
         Err(e) => eprintln!("microbench: could not write {out_path}: {e}"),
     }

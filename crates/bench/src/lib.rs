@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use std::sync::{mpsc, Mutex, OnceLock};
 
 use deact::{RunReport, Scheme, SystemConfig};
-use fam_sim::{default_jobs, Stage, ThreadPool, TraceConfig};
+use fam_sim::{cap_sim_threads, default_jobs, Stage, ThreadPool, TraceConfig};
 use fam_workloads::{table3, Workload};
 
 pub mod diff;
@@ -48,12 +48,10 @@ pub fn refs_from_env(default: u64) -> u64 {
 /// to 1 (the sequential engine). Like `DEACT_JOBS` this is a harness
 /// knob, not a [`SystemConfig`] field: it cannot change any report and
 /// must not perturb the memoized run cache's configuration keys.
+/// Delegates to [`fam_sim::sim_threads_from_env`], the reader the
+/// core crate's [`deact::try_run_benchmark`] shares.
 pub fn sim_threads_from_env() -> usize {
-    std::env::var("DEACT_SIM_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(1)
+    fam_sim::sim_threads_from_env()
 }
 
 /// Parses one `DEACT_TRACE` value: `off`/`0`/`none` disables tracing,
@@ -150,18 +148,28 @@ pub fn run_matrix_opts(
     if todo.is_empty() {
         return matrix;
     }
-    let results: Vec<((String, Scheme), RunReport)> = if jobs <= 1 || todo.len() == 1 {
+    // Cap the intra-run thread level against the number of matrix
+    // jobs actually in flight so the two parallelism levels compose
+    // instead of oversubscribing; the helper's note prints once per
+    // process, not once per (benchmark, scheme) job.
+    let concurrent = if jobs <= 1 || todo.len() == 1 {
+        1
+    } else {
+        jobs.min(todo.len())
+    };
+    let sim_threads = cap_sim_threads(concurrent, sim_threads_from_env());
+    let results: Vec<((String, Scheme), RunReport)> = if concurrent <= 1 {
         todo.iter()
-            .map(|(b, s)| ((b.clone(), *s), run_one(b, *s, cfg)))
+            .map(|(b, s)| ((b.clone(), *s), run_one(b, *s, cfg, sim_threads)))
             .collect()
     } else {
-        let pool = ThreadPool::new(jobs.min(todo.len()));
+        let pool = ThreadPool::new(concurrent);
         let (tx, rx) = mpsc::channel();
         for (b, s) in &todo {
             let tx = tx.clone();
             let (b, s) = (b.clone(), *s);
             pool.execute(move || {
-                let report = run_one(&b, s, cfg);
+                let report = run_one(&b, s, cfg, sim_threads);
                 let _ = tx.send(((b, s), report));
             });
         }
@@ -180,9 +188,9 @@ pub fn run_matrix_opts(
     matrix
 }
 
-fn run_one(bench: &str, scheme: Scheme, cfg: SystemConfig) -> RunReport {
+fn run_one(bench: &str, scheme: Scheme, cfg: SystemConfig, sim_threads: usize) -> RunReport {
     let w = Workload::by_name(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
-    deact::System::new(cfg.with_scheme(scheme), &w).run_parallel(sim_threads_from_env())
+    deact::System::new(cfg.with_scheme(scheme), &w).run_parallel(sim_threads)
 }
 
 /// Prints a figure header.
@@ -236,7 +244,8 @@ pub fn write_csv<W: std::io::Write>(mut w: W, matrix: &Matrix) -> std::io::Resul
         "benchmark,scheme,ipc,cycles,instructions,at_percent,translation_hit,acm_hit,\
          tlb_hit,mpki,fam_data_reads,fam_data_writes,fam_writebacks,fam_at_reads,\
          dram_reads,dram_writes,faults,injected_faults,retries,timeouts,nacks_corrupt,\
-         nacks_stale,recovered,fatal,backoff_cycles,fast_path_coverage"
+         nacks_stale,recovered,fatal,backoff_cycles,fast_path_coverage,\
+         parallel_phase_coverage"
     )?;
     for stage in Stage::ALL {
         write!(w, ",lat_mean_{}", stage.name())?;
@@ -248,7 +257,7 @@ pub fn write_csv<W: std::io::Write>(mut w: W, matrix: &Matrix) -> std::io::Resul
         let r = &matrix[key];
         write!(
             w,
-            "{},{},{:.6},{},{},{:.4},{},{},{:.4},{:.2},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4}",
+            "{},{},{:.6},{},{},{:.4},{},{},{:.4},{:.2},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4}",
             r.workload,
             r.scheme.name(),
             r.ipc,
@@ -276,6 +285,7 @@ pub fn write_csv<W: std::io::Write>(mut w: W, matrix: &Matrix) -> std::io::Resul
             r.recovery.fatal,
             r.recovery.backoff_cycles,
             r.fast_path_coverage,
+            r.parallel_phase_coverage,
         )?;
         for stage in Stage::ALL {
             let h = r.latency.stage(stage);

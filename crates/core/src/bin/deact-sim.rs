@@ -294,6 +294,10 @@ fn print_report(r: &RunReport) {
         "fast path        {:.1}% of refs retired without the scheduler",
         r.fast_path_coverage * 100.0
     );
+    println!(
+        "parallel phase   {:.1}% of refs retired inside epoch shards",
+        r.parallel_phase_coverage * 100.0
+    );
     if !r.latency.is_empty() {
         println!(
             "latency          {} spans across {} stages:",
@@ -561,16 +565,8 @@ fn main() -> ExitCode {
             // host's available parallelism: with four scheme runs in
             // flight, oversubscribing the intra-run threads would only
             // slow everything down (reports are identical either way).
-            let capped = sim_threads.min((fam_sim::default_jobs() / jobs).max(1));
-            if capped < sim_threads {
-                eprintln!(
-                    "note: capping --sim-threads {sim_threads} -> {capped} so \
-                     --jobs {jobs} x sim-threads fits the host's {} available \
-                     threads (reports are identical either way)",
-                    fam_sim::default_jobs()
-                );
-            }
-            let sim_threads = capped;
+            // The helper warns once per process, not once per job.
+            let sim_threads = fam_sim::cap_sim_threads(jobs, sim_threads);
             // Run all four schemes across the bounded pool; printing
             // happens afterwards in scheme order, so the table is
             // identical at any worker count.

@@ -267,6 +267,15 @@ pub struct RunReport {
     /// Engine-dependent: excluded from `PartialEq` (and zero for the
     /// preserved exact engines).
     pub fast_path_coverage: f64,
+    /// Fraction of references the parallel engine retired inside its
+    /// epoch-parallel phase (node-local retirements plus shard-granted
+    /// FAM retirements), before the sequential commit drain. Unlike
+    /// wall-clock speedup this is deterministic and thread-count
+    /// invariant — the admission scan is sequential — so it is the
+    /// portable measure of how much of a run the sharded engine can
+    /// take off the critical section. Engine-dependent: excluded from
+    /// `PartialEq` (zero for the sequential engines).
+    pub parallel_phase_coverage: f64,
     /// Host-time profile of the run (empty unless
     /// `fam_sim::profile::set_enabled(true)` was in effect). Host
     /// nanoseconds are nondeterministic by nature, so like
@@ -304,6 +313,7 @@ impl PartialEq for RunReport {
             refs_per_core,
             latency,
             fast_path_coverage: _,
+            parallel_phase_coverage: _,
             profile: _,
         } = self;
         *scheme == other.scheme
@@ -455,6 +465,7 @@ mod tests {
             refs_per_core: 10,
             latency: LatencyBreakdown::default(),
             fast_path_coverage: 0.0,
+            parallel_phase_coverage: 0.0,
             profile: fam_sim::ProfileReport::default(),
         }
     }
@@ -464,6 +475,7 @@ mod tests {
         let a = report(1.0);
         let mut b = report(1.0);
         b.fast_path_coverage = 0.75;
+        b.parallel_phase_coverage = 0.5;
         assert_eq!(a, b, "coverage is an engine diagnostic, not a result");
         b.cycles += 1;
         assert_ne!(a, b);

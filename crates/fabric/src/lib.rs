@@ -4,9 +4,10 @@
 //! (500 ns in Table II, swept from 100 ns to 6 µs in Fig. 15) shared by
 //! every node attached to a FAM pool. This crate provides:
 //!
-//! * [`Fabric`] — per-node access links plus a shared trunk into the
+//! * [`Fabric`] — per-node access links plus per-module ports into the
 //!   FAM pool, each modelled as a contended resource, so the Fig. 16
-//!   node-count sweep sees queueing as more nodes share the fabric.
+//!   node-count sweep sees queueing as more nodes share the fabric
+//!   while traffic to distinct NVM modules rides independent ports.
 //! * [`packet`] — the wire format of memory-semantic requests,
 //!   including the `V` (verified) flag DeACT adds to request packets
 //!   (§III-C), encoded with a real serializer so the flag has a
@@ -18,8 +19,8 @@
 //! use fam_fabric::{Fabric, FabricConfig};
 //! use fam_sim::{Cycle, Frequency};
 //!
-//! let mut fabric = Fabric::new(Frequency::ghz(2), FabricConfig::default(), 1);
-//! let arrival = fabric.node_to_fam(Cycle(0), 0);
+//! let mut fabric = Fabric::new(Frequency::ghz(2), FabricConfig::default(), 1, 1);
+//! let arrival = fabric.node_to_fam(Cycle(0), 0, 0);
 //! assert_eq!(arrival, Cycle(1000)); // 500 ns at 2 GHz
 //! ```
 
@@ -39,8 +40,11 @@ pub struct FabricConfig {
     pub latency_ns: u64,
     /// Cycles a node's access link is occupied per 64-byte flit.
     pub link_occupancy_cycles: u64,
-    /// Cycles the shared trunk into the FAM pool is occupied per flit;
-    /// this is the resource nodes contend on in the Fig. 16 sweep.
+    /// Cycles a FAM module's port is occupied per flit; traffic to the
+    /// same module contends here in the Fig. 16 sweep, while distinct
+    /// modules queue independently. (Historically named for the single
+    /// shared trunk the port array replaced; with one module the two
+    /// models are identical.)
     pub trunk_occupancy_cycles: u64,
 }
 
@@ -54,77 +58,120 @@ impl Default for FabricConfig {
     }
 }
 
-/// The system fabric connecting `nodes` compute nodes to the FAM pool.
+/// The per-traversal timing constants, copied out of a [`Fabric`] so
+/// the sharded engine can run traversals against individually borrowed
+/// link/port resources without holding `&mut Fabric`.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricTiming {
+    /// Link occupancy per 64-byte flit.
+    pub link_occupancy: Duration,
+    /// Module-port occupancy per flit.
+    pub port_occupancy: Duration,
+    /// One-way traversal latency.
+    pub latency: Duration,
+}
+
+/// One traversal against an explicitly borrowed link/port pair — the
+/// primitive shared by [`Fabric::node_to_fam`]-style owned calls and
+/// the sharded engine's epoch-parallel traversals.
 ///
-/// A traversal claims the node's private access link, then the shared
-/// trunk, then completes one traversal latency later. Responses take
-/// the same path in reverse; both directions share the same resources,
-/// which is how contention grows with node count.
+/// Does **not** count the traversal: the owned path increments the
+/// fabric counter itself and shards reconcile their local tallies via
+/// [`Fabric::add_traversals`] at merge time.
+pub fn traverse_split(
+    link: &mut Resource,
+    port: &mut Resource,
+    timing: FabricTiming,
+    now: Cycle,
+    flits: u64,
+) -> Cycle {
+    let _prof = fam_sim::profile::span(fam_sim::profile::PhaseId::Fabric);
+    let flits = flits.max(1);
+    let on_link = link.acquire_for(now, timing.link_occupancy.times(flits));
+    let on_port = port.acquire_for(on_link, timing.port_occupancy.times(flits));
+    on_port + timing.latency
+}
+
+/// The system fabric connecting `nodes` compute nodes to a FAM pool of
+/// `modules` NVM modules.
+///
+/// A traversal claims the node's private access link, then the target
+/// module's port, then completes one traversal latency later.
+/// Responses take the same path in reverse; both directions share the
+/// same resources, which is how contention grows with node count.
+/// Traffic to distinct modules only shares the node link.
 #[derive(Debug, Clone)]
 pub struct Fabric {
     latency: Duration,
     links: Vec<Resource>,
-    trunk: Resource,
+    ports: Vec<Resource>,
     traversals: Counter,
     config: FabricConfig,
     freq: Frequency,
 }
 
 impl Fabric {
-    /// Creates a fabric for `nodes` nodes.
+    /// Creates a fabric for `nodes` nodes and `modules` FAM modules.
     ///
     /// # Panics
     ///
-    /// Panics if `nodes` is zero.
-    pub fn new(freq: Frequency, config: FabricConfig, nodes: usize) -> Fabric {
+    /// Panics if `nodes` or `modules` is zero.
+    pub fn new(freq: Frequency, config: FabricConfig, nodes: usize, modules: usize) -> Fabric {
         assert!(nodes > 0, "fabric needs at least one node");
+        assert!(modules > 0, "fabric needs at least one module");
         Fabric {
             latency: freq.ns_to_cycles(config.latency_ns),
             links: (0..nodes)
                 .map(|_| Resource::new(config.link_occupancy_cycles))
                 .collect(),
-            trunk: Resource::new(config.trunk_occupancy_cycles),
+            ports: (0..modules)
+                .map(|_| Resource::new(config.trunk_occupancy_cycles))
+                .collect(),
             traversals: Counter::new(),
             config,
             freq,
         }
     }
 
-    fn traverse(&mut self, now: Cycle, node: usize, flits: u64) -> Cycle {
-        let _prof = fam_sim::profile::span(fam_sim::profile::PhaseId::Fabric);
+    fn traverse(&mut self, now: Cycle, node: usize, module: usize, flits: u64) -> Cycle {
         assert!(node < self.links.len(), "unknown node {node}");
+        assert!(module < self.ports.len(), "unknown module {module}");
         self.traversals.inc();
-        let flits = flits.max(1);
-        let link_occ = Duration(self.config.link_occupancy_cycles).times(flits);
-        let trunk_occ = Duration(self.config.trunk_occupancy_cycles).times(flits);
-        let on_link = self.links[node].acquire_for(now, link_occ);
-        let on_trunk = self.trunk.acquire_for(on_link, trunk_occ);
-        on_trunk + self.latency
+        let timing = self.timing();
+        traverse_split(
+            &mut self.links[node],
+            &mut self.ports[module],
+            timing,
+            now,
+            flits,
+        )
     }
 
-    /// A single-flit request from `node` to the FAM side; returns the
-    /// arrival time.
-    pub fn node_to_fam(&mut self, now: Cycle, node: usize) -> Cycle {
-        self.traverse(now, node, 1)
+    /// A single-flit request from `node` to FAM module `module`;
+    /// returns the arrival time.
+    pub fn node_to_fam(&mut self, now: Cycle, node: usize, module: usize) -> Cycle {
+        self.traverse(now, node, module, 1)
     }
 
-    /// A response (or any transfer) from the FAM side back to `node`;
-    /// `bytes` sizes the transfer (rounded up to 64-byte flits).
-    pub fn fam_to_node(&mut self, now: Cycle, node: usize, bytes: u64) -> Cycle {
-        self.traverse(now, node, bytes.div_ceil(64))
+    /// A response (or any transfer) from module `module` back to
+    /// `node`; `bytes` sizes the transfer (rounded up to 64-byte
+    /// flits).
+    pub fn fam_to_node(&mut self, now: Cycle, node: usize, module: usize, bytes: u64) -> Cycle {
+        self.traverse(now, node, module, bytes.div_ceil(64))
     }
 
-    /// Round trip: request to FAM plus `response_bytes` back, with
-    /// `service` cycles spent at the FAM side in between.
+    /// Round trip: request to module `module` plus `response_bytes`
+    /// back, with `service` cycles spent at the FAM side in between.
     pub fn round_trip(
         &mut self,
         now: Cycle,
         node: usize,
+        module: usize,
         service: Duration,
         response_bytes: u64,
     ) -> Cycle {
-        let there = self.node_to_fam(now, node);
-        self.fam_to_node(there + service, node, response_bytes)
+        let there = self.node_to_fam(now, node, module);
+        self.fam_to_node(there + service, node, module, response_bytes)
     }
 
     /// One-way traversal latency in cycles.
@@ -142,6 +189,11 @@ impl Fabric {
         self.links.len()
     }
 
+    /// Number of FAM module ports.
+    pub fn modules(&self) -> usize {
+        self.ports.len()
+    }
+
     /// The configuration this fabric was built with.
     pub fn config(&self) -> FabricConfig {
         self.config
@@ -152,12 +204,35 @@ impl Fabric {
         self.freq
     }
 
+    /// The timing constants for [`traverse_split`].
+    pub fn timing(&self) -> FabricTiming {
+        FabricTiming {
+            link_occupancy: Duration(self.config.link_occupancy_cycles),
+            port_occupancy: Duration(self.config.trunk_occupancy_cycles),
+            latency: self.latency,
+        }
+    }
+
+    /// Splits the fabric into its node links and module ports so the
+    /// sharded engine can lend each shard exactly the resources it was
+    /// granted for an epoch.
+    pub fn split_mut(&mut self) -> (&mut [Resource], &mut [Resource]) {
+        (&mut self.links, &mut self.ports)
+    }
+
+    /// Folds `n` shard-side traversals into the owned counter.
+    pub fn add_traversals(&mut self, n: u64) {
+        self.traversals.add(n);
+    }
+
     /// Resets contention timelines and statistics.
     pub fn reset(&mut self) {
         for l in &mut self.links {
             l.reset();
         }
-        self.trunk.reset();
+        for p in &mut self.ports {
+            p.reset();
+        }
         self.traversals.reset();
     }
 }
@@ -167,50 +242,74 @@ mod tests {
     use super::*;
 
     fn fabric(nodes: usize) -> Fabric {
-        Fabric::new(Frequency::ghz(2), FabricConfig::default(), nodes)
+        Fabric::new(Frequency::ghz(2), FabricConfig::default(), nodes, 1)
     }
 
     #[test]
     fn one_way_latency_matches_config() {
         let mut f = fabric(2);
-        assert_eq!(f.node_to_fam(Cycle(0), 0), Cycle(1000));
+        assert_eq!(f.node_to_fam(Cycle(0), 0, 0), Cycle(1000));
         assert_eq!(f.latency(), Duration(1000));
     }
 
     #[test]
     fn per_node_links_are_private() {
         let mut f = fabric(2);
-        let a = f.node_to_fam(Cycle(0), 0);
-        let b = f.node_to_fam(Cycle(0), 1);
-        // Node 1 only waits behind node 0 on the shared trunk.
+        let a = f.node_to_fam(Cycle(0), 0, 0);
+        let b = f.node_to_fam(Cycle(0), 1, 0);
+        // Node 1 only waits behind node 0 on the shared module port.
         assert_eq!(a, Cycle(1000));
-        assert!(b > a && b < Cycle(1010), "trunk-only queueing: got {b:?}");
+        assert!(b > a && b < Cycle(1010), "port-only queueing: got {b:?}");
+    }
+
+    #[test]
+    fn per_module_ports_are_independent() {
+        let mut f = Fabric::new(Frequency::ghz(2), FabricConfig::default(), 2, 2);
+        let a = f.node_to_fam(Cycle(0), 0, 0);
+        let b = f.node_to_fam(Cycle(0), 1, 1);
+        // Different nodes, different modules: no shared resource at all.
+        assert_eq!(a, Cycle(1000));
+        assert_eq!(b, Cycle(1000));
+        assert_eq!(f.modules(), 2);
     }
 
     #[test]
     fn same_node_requests_queue_on_link() {
         let mut f = fabric(1);
-        let a = f.node_to_fam(Cycle(0), 0);
-        let b = f.node_to_fam(Cycle(0), 0);
+        let a = f.node_to_fam(Cycle(0), 0, 0);
+        let b = f.node_to_fam(Cycle(0), 0, 0);
         assert!(b >= a + Duration(4), "second flit waits for the link");
     }
 
     #[test]
     fn large_response_occupies_longer() {
         let mut f = fabric(1);
-        f.fam_to_node(Cycle(0), 0, 4096); // 64 flits
-        let next = f.node_to_fam(Cycle(0), 0);
+        f.fam_to_node(Cycle(0), 0, 0, 4096); // 64 flits
+        let next = f.node_to_fam(Cycle(0), 0, 0);
         assert!(next > Cycle(1200), "link busy for 64 flits: {next:?}");
     }
 
     #[test]
     fn round_trip_includes_service_time() {
         let mut f = fabric(1);
-        let done = f.round_trip(Cycle(0), 0, Duration(120), 64);
+        let done = f.round_trip(Cycle(0), 0, 0, Duration(120), 64);
         // 1000 there + 120 service + 1000 back, plus occupancies.
         assert!(done >= Cycle(2120));
         assert!(done < Cycle(2200));
         assert_eq!(f.traversals(), 2);
+    }
+
+    #[test]
+    fn split_traversal_matches_owned() {
+        let mut owned = fabric(1);
+        let mut split = fabric(1);
+        let want = owned.node_to_fam(Cycle(0), 0, 0);
+        let timing = split.timing();
+        let (links, ports) = split.split_mut();
+        let got = traverse_split(&mut links[0], &mut ports[0], timing, Cycle(0), 1);
+        split.add_traversals(1);
+        assert_eq!(got, want);
+        assert_eq!(split.traversals(), owned.traversals());
     }
 
     #[test]
@@ -219,22 +318,28 @@ mod tests {
             latency_ns: 6000,
             ..FabricConfig::default()
         };
-        let mut f = Fabric::new(Frequency::ghz(2), cfg, 1);
-        assert_eq!(f.node_to_fam(Cycle(0), 0), Cycle(12000));
+        let mut f = Fabric::new(Frequency::ghz(2), cfg, 1, 1);
+        assert_eq!(f.node_to_fam(Cycle(0), 0, 0), Cycle(12000));
     }
 
     #[test]
     #[should_panic(expected = "unknown node")]
     fn out_of_range_node_rejected() {
-        fabric(1).node_to_fam(Cycle(0), 5);
+        fabric(1).node_to_fam(Cycle(0), 5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown module")]
+    fn out_of_range_module_rejected() {
+        fabric(1).node_to_fam(Cycle(0), 0, 3);
     }
 
     #[test]
     fn reset_clears_contention() {
         let mut f = fabric(1);
-        f.node_to_fam(Cycle(0), 0);
+        f.node_to_fam(Cycle(0), 0, 0);
         f.reset();
         assert_eq!(f.traversals(), 0);
-        assert_eq!(f.node_to_fam(Cycle(0), 0), Cycle(1000));
+        assert_eq!(f.node_to_fam(Cycle(0), 0, 0), Cycle(1000));
     }
 }

@@ -75,7 +75,10 @@ pub use event::EventQueue;
 pub use fault::{
     FabricFault, FaultConfig, FaultInjector, FaultStats, PersistentFault, PersistentSchedule,
 };
-pub use pool::{default_jobs, scoped_map, scoped_map_mut, FreeList, ThreadPool};
+pub use pool::{
+    cap_sim_threads, default_jobs, scoped_map, scoped_map_mut, sim_threads_from_env, FreeList,
+    ThreadPool,
+};
 pub use profile::{PhaseId, PhaseStat, ProfileReport};
 pub use queue::IndexedMinHeap;
 pub use registry::{Metric, Registry};

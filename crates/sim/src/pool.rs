@@ -153,6 +153,43 @@ pub fn default_jobs() -> usize {
         })
 }
 
+/// Intra-run simulation threads from `DEACT_SIM_THREADS`, defaulting
+/// to 1 (the sequential engine). Like `DEACT_JOBS` this is a harness
+/// knob, not a configuration field: the parallel engine is
+/// bit-identical at any thread count, so the variable can change how
+/// fast a run executes but never what it reports.
+pub fn sim_threads_from_env() -> usize {
+    std::env::var("DEACT_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Caps the intra-run `--sim-threads` level so `jobs × sim_threads`
+/// fits the host's worker budget ([`default_jobs`]): with several runs
+/// already in flight, oversubscribing the intra-run workers only adds
+/// handoff latency, and reports are identical at any thread count.
+///
+/// When the cap actually bites, a note goes to stderr **once per
+/// process** — sweeps apply the cap for every job they launch, and
+/// repeating the identical warning per job buried the real output.
+pub fn cap_sim_threads(jobs: usize, sim_threads: usize) -> usize {
+    let host = default_jobs();
+    let capped = sim_threads.min((host / jobs.max(1)).max(1));
+    if capped < sim_threads {
+        static NOTE: std::sync::Once = std::sync::Once::new();
+        NOTE.call_once(|| {
+            eprintln!(
+                "note: capping --sim-threads {sim_threads} -> {capped} so --jobs {jobs} \
+                 x sim-threads fits the host's {host} available threads (reports are \
+                 identical either way)"
+            );
+        });
+    }
+    capped
+}
+
 /// Runs `f(0..n)` across at most `threads` scoped workers and returns
 /// the results in index order.
 ///

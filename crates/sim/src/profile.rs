@@ -91,6 +91,12 @@ pub enum PhaseId {
     Evacuation,
     /// System-wide translation shootdown walk.
     Shootdown,
+    /// Sharded engine: sequential per-epoch admission scan (grant and
+    /// barrier computation over staged references).
+    ShardScan,
+    /// Sharded engine: FAM references retired inside a shard against
+    /// granted fabric-port/NVM-module resources.
+    ShardFam,
 }
 
 impl PhaseId {
@@ -111,10 +117,12 @@ impl PhaseId {
         PhaseId::ParallelCommit,
         PhaseId::Evacuation,
         PhaseId::Shootdown,
+        PhaseId::ShardScan,
+        PhaseId::ShardFam,
     ];
 
     /// Number of phases.
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 17;
 
     /// Dense index in `[0, COUNT)`.
     pub fn index(self) -> usize {
@@ -139,6 +147,8 @@ impl PhaseId {
             PhaseId::ParallelCommit => "parallel-commit",
             PhaseId::Evacuation => "evacuation",
             PhaseId::Shootdown => "shootdown",
+            PhaseId::ShardScan => "shard-scan",
+            PhaseId::ShardFam => "shard-fam",
         }
     }
 }
@@ -168,17 +178,22 @@ impl PhaseStat {
     }
 }
 
-/// Self-time for one distinct call path (encoded as a nibble string of
-/// phase codes, root in the most significant populated nibble).
+/// Self-time for one distinct call path (encoded as a string of 5-bit
+/// phase codes, root in the most significant populated group).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct PathStat {
     calls: u64,
     self_ns: u64,
 }
 
+/// Bits per phase code in a path key: codes run 1..=COUNT (0 marks the
+/// empty path), so 5 bits hold up to 31 phases.
+const PATH_BITS: u64 = 5;
+const PATH_MASK: u64 = (1 << PATH_BITS) - 1;
+
 /// Paths deeper than this stop extending the key and attribute to the
-/// 16-phase prefix; real span nesting in the engine is ≤ 4 deep.
-const MAX_DEPTH: usize = 16;
+/// 12-phase prefix; real span nesting in the engine is ≤ 4 deep.
+const MAX_DEPTH: usize = 12;
 
 /// Span drops between opportunistic flushes of an empty-stack thread
 /// accumulator into the global report (bounds staleness of long-lived
@@ -316,7 +331,7 @@ impl ThreadProfile {
         let path = if self.stack.len() >= MAX_DEPTH {
             parent
         } else {
-            (parent << 4) | (phase.index() as u64 + 1)
+            (parent << PATH_BITS) | (phase.index() as u64 + 1)
         };
         self.stack.push(Frame {
             phase,
@@ -426,11 +441,11 @@ impl ProfileReport {
     fn decode_path(mut key: u64) -> Vec<PhaseId> {
         let mut rev = Vec::new();
         while key != 0 {
-            let code = (key & 0xF) as usize;
+            let code = (key & PATH_MASK) as usize;
             if (1..=PhaseId::COUNT).contains(&code) {
                 rev.push(PhaseId::ALL[code - 1]);
             }
-            key >>= 4;
+            key >>= PATH_BITS;
         }
         rev.reverse();
         rev

@@ -1,13 +1,18 @@
 //! Bit-identity guarantees of the intra-run parallel engine.
 //!
 //! [`deact::System::try_run_parallel`] splits each epoch into a
-//! node-local phase that runs concurrently and a shared-resource
+//! sharded retirement phase that runs concurrently — node-local
+//! references always, FAM-bound references on the epoch's leader node
+//! over per-module ports and device timelines — and a shared-resource
 //! commit phase that drains sequentially in global `(ready, slot)`
 //! order. These tests pin down that the split changed *nothing
-//! observable*: fixed-seed reports are bit-identical to the sequential
-//! engine ([`deact::System::try_run`]) across all four schemes, node
-//! counts, fault injection, and tracing — and invariant in the thread
-//! count, so results never depend on the machine they ran on.
+//! observable*: fixed-seed reports are bit-identical to the
+//! sequential engines ([`deact::System::try_run`] and the exact
+//! scheduler [`deact::System::try_run_exact`]) across all four
+//! schemes, node counts, fault injection, and tracing — and invariant
+//! in the thread count, so results never depend on the machine they
+//! ran on. Where the sharded FAM path is the subject, the tests also
+//! assert it actually fired, so they cannot pass vacuously.
 
 use deact::{RunReport, Scheme, System, SystemConfig};
 use fam_sim::{FaultConfig, PersistentFault, TraceConfig};
@@ -157,6 +162,98 @@ fn persistent_faults_are_thread_and_tracing_invariant() {
                 seq.degradation, traced.degradation,
                 "{fault:?}/{scheme}: tracing changed the degradation report"
             );
+        }
+    }
+}
+
+#[test]
+fn sharded_fam_retirement_matches_the_exact_engine() {
+    // The tentpole guarantee, pinned against the *exact* scheduler
+    // (no fused fast path anywhere): with per-module ports and device
+    // timelines, the leader node's shard retires FAM-bound references
+    // itself, and the fixed-seed report still cannot be told apart
+    // from the exact sequential one at any thread count. The metrics
+    // check keeps the test honest — if admission regressed to zero,
+    // bit-identity would hold trivially and prove nothing.
+    for scheme in Scheme::ALL {
+        let cfg = nodes_cfg(scheme, 4).with_refs_per_core(1_500);
+        let w = Workload::by_name("sssp").expect("table3 benchmark");
+        let exact = System::new(cfg, &w).try_run_exact().expect("exact run");
+        for threads in [1, 2, 4] {
+            let mut sys = System::new(cfg, &w);
+            let par = sys.try_run_parallel(threads).expect("parallel run");
+            assert_eq!(exact, par, "{scheme}/{threads}t vs exact engine");
+            if threads > 1 {
+                let fam = sys
+                    .metrics()
+                    .counter_value("parallel/fam_refs")
+                    .unwrap_or(0);
+                assert!(fam > 0, "{scheme}: the shard-FAM path never fired");
+                assert!(
+                    par.parallel_phase_coverage > 0.0,
+                    "{scheme}: coverage must reflect the shard retirements"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_fam_retirement_with_tracing_matches_the_exact_engine() {
+    // Shard-FAM retirements emit their own fabric/NVM/STU trace events
+    // and window samples from shard-local traffic deltas; the merged
+    // latency breakdown must equal the exact tracer's.
+    for trace in [TraceConfig::breakdown_only(), TraceConfig::full()] {
+        for scheme in [Scheme::IFam, Scheme::DeactN] {
+            let cfg = nodes_cfg(scheme, 4)
+                .with_refs_per_core(1_000)
+                .with_trace(trace);
+            let w = Workload::by_name("sssp").expect("table3 benchmark");
+            let exact = System::new(cfg, &w).try_run_exact().expect("exact run");
+            for threads in [2, 4] {
+                let mut sys = System::new(cfg, &w);
+                let par = sys.try_run_parallel(threads).expect("parallel run");
+                assert_eq!(exact, par, "traced {scheme}/{threads}t vs exact engine");
+                let fam = sys
+                    .metrics()
+                    .counter_value("parallel/fam_refs")
+                    .unwrap_or(0);
+                assert!(fam > 0, "traced {scheme}: the shard-FAM path never fired");
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_under_faults_matches_the_exact_engine() {
+    // Fault injection disables shard-FAM admission for the whole run
+    // (injector state is consumed in global reference order); the
+    // engine must both honour that gate and stay bit-identical to the
+    // exact scheduler through transient bursts and a mid-run
+    // persistent strike.
+    let transient = FaultConfig::transient(7);
+    let persistent =
+        FaultConfig::transient(7).with_persistent(PersistentFault::NodeDead { module: 1 }, 400);
+    for (label, fc) in [("transient", transient), ("persistent", persistent)] {
+        for scheme in [Scheme::EFam, Scheme::DeactN] {
+            let cfg = nodes_cfg(scheme, 4)
+                .with_refs_per_core(800)
+                .with_fault_injection(fc);
+            let w = Workload::by_name("sssp").expect("table3 benchmark");
+            let exact = System::new(cfg, &w).try_run_exact().expect("exact run");
+            for threads in [1, 2, 4] {
+                let mut sys = System::new(cfg, &w);
+                let par = sys.try_run_parallel(threads).expect("parallel run");
+                assert_eq!(exact, par, "{label}/{scheme}/{threads}t vs exact engine");
+                let fam = sys
+                    .metrics()
+                    .counter_value("parallel/fam_refs")
+                    .unwrap_or(0);
+                assert_eq!(
+                    fam, 0,
+                    "{label}/{scheme}: faulty runs must not shard FAM work"
+                );
+            }
         }
     }
 }
