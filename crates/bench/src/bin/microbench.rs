@@ -221,6 +221,127 @@ fn bench_fastpath(records: &mut Vec<Record>) {
     });
 }
 
+/// Per-reference cost of running a recorded trace through the full
+/// system instead of the live generator: records the
+/// `sched_per_ref/4_cores` configuration's stream to a FAMT v2 file
+/// once, then times replay runs streaming it back from disk. The
+/// delta against `sched_per_ref/4_cores` is the whole price of
+/// chunked file decode on the hot path.
+fn bench_replay(records: &mut Vec<Record>) {
+    let cfg = SystemConfig::paper_default()
+        .with_scheme(Scheme::DeactN)
+        .with_refs_per_core(SCHED_REFS)
+        .with_seed(0xBE9C)
+        .with_trace(fam_bench::trace_from_env(fam_sim::TraceConfig::disabled()));
+    let w = Workload::by_name("sssp").expect("table3 benchmark");
+    let path = std::env::temp_dir().join(format!("deact-microbench-{}.famt", std::process::id()));
+    let mut streams = deact::System::synthetic_streams(&cfg, &w);
+    let file = std::fs::File::create(&path).expect("temp trace file");
+    fam_workloads::trace::record_streams(
+        std::io::BufWriter::new(file),
+        &mut streams,
+        cfg.refs_per_core,
+    )
+    .expect("record trace");
+    let total_refs = cfg.refs_per_core * (cfg.nodes * cfg.cores_per_node) as u64;
+    let samples: Vec<f64> = (0..SCHED_REPS)
+        .map(|_| {
+            let streams =
+                fam_workloads::trace::replay_streams(&path, cfg.nodes, cfg.cores_per_node)
+                    .expect("replay streams");
+            let start = Instant::now();
+            let report = deact::System::with_streams(cfg, "sssp", streams).run();
+            let elapsed = start.elapsed().as_nanos() as f64;
+            black_box(report.cycles);
+            elapsed / total_refs as f64
+        })
+        .collect();
+    let ns = median(samples);
+    let label = "replay_per_ref";
+    println!("{label:28} {ns:>8.1} ns/op");
+    records.push(Record {
+        label: label.to_string(),
+        ns_per_op: ns,
+    });
+    std::fs::remove_file(&path).ok();
+}
+
+/// The sharded engine on a bursty phase-structured trace: synthesizes
+/// a 16-node FAMT v2 trace whose ranks rotate through scan/chase/dwell
+/// phases out of lockstep, replays it under
+/// [`deact::System::try_run_parallel`] at 2 threads, and returns the
+/// epoch-shard coverage plus the mean FAM refs the leader retires per
+/// granted epoch (leader-front dwell — ~1 on lockstep synthetics, the
+/// whole point of the bursty trace is to raise it). Both land in the
+/// JSON for the bench-diff gate.
+fn bench_replay_burst(records: &mut Vec<Record>) -> (f64, f64) {
+    let cfg = SystemConfig::paper_default()
+        .with_scheme(Scheme::DeactN)
+        .with_nodes(16)
+        .with_fam_modules(16)
+        .with_refs_per_core(SCHED_REFS)
+        .with_seed(0xBE9C)
+        .with_trace(fam_bench::trace_from_env(fam_sim::TraceConfig::disabled()));
+    let path = std::env::temp_dir().join(format!(
+        "deact-microbench-burst-{}.famt",
+        std::process::id()
+    ));
+    let burst = fam_workloads::trace::BurstConfig::new(0xBE9C);
+    let file = std::fs::File::create(&path).expect("temp trace file");
+    fam_workloads::trace::synthesize_bursty(
+        std::io::BufWriter::new(file),
+        &burst,
+        cfg.nodes,
+        cfg.cores_per_node,
+        cfg.refs_per_core,
+    )
+    .expect("synthesize bursty trace");
+    let total_refs = cfg.refs_per_core * (cfg.nodes * cfg.cores_per_node) as u64;
+    let mut coverage = 0.0;
+    let mut dwell = 0.0;
+    let samples: Vec<f64> = (0..SCHED_REPS)
+        .map(|_| {
+            let streams =
+                fam_workloads::trace::replay_streams(&path, cfg.nodes, cfg.cores_per_node)
+                    .expect("replay streams");
+            let mut system = deact::System::with_streams(cfg, "bursty", streams);
+            let start = Instant::now();
+            let report = system.try_run_parallel(2).expect("fault-free run");
+            let elapsed = start.elapsed().as_nanos() as f64;
+            coverage = report.parallel_phase_coverage;
+            let metrics = system.metrics();
+            let fam_refs = metrics.counter_value("parallel/fam_refs").unwrap_or(0);
+            let grants: u64 = (0..cfg.fam_modules)
+                .map(|m| {
+                    metrics
+                        .counter_value(&format!("nvm{m}/granted_epochs"))
+                        .unwrap_or(0)
+                })
+                .sum();
+            dwell = if grants > 0 {
+                fam_refs as f64 / grants as f64
+            } else {
+                0.0
+            };
+            black_box(report.cycles);
+            elapsed / total_refs as f64
+        })
+        .collect();
+    let ns = median(samples);
+    let label = "replay_parallel_per_ref/16_nodes_2t";
+    println!("{label:28} {ns:>8.1} ns/op");
+    println!(
+        "replay_parallel_coverage     {:>7.1} %  ({dwell:.2} FAM refs/granted epoch)",
+        coverage * 100.0
+    );
+    records.push(Record {
+        label: label.to_string(),
+        ns_per_op: ns,
+    });
+    std::fs::remove_file(&path).ok();
+    (coverage, dwell)
+}
+
 /// Whole-system throughput: simulated references per wall-clock second
 /// on the paper-default single-node configuration.
 fn bench_throughput() -> Throughput {
@@ -253,6 +374,8 @@ fn write_json(
     throughput: &Throughput,
     parallel_speedup_4t: f64,
     parallel_phase_coverage: f64,
+    replay_parallel_phase_coverage: f64,
+    replay_fam_refs_per_grant: f64,
 ) -> std::io::Result<()> {
     use std::io::Write;
     let mut out = String::from("{\n  \"schema\": \"deact-microbench-v1\",\n");
@@ -275,6 +398,12 @@ fn write_json(
     ));
     out.push_str(&format!(
         "  \"parallel_phase_coverage\": {parallel_phase_coverage:.4},\n"
+    ));
+    out.push_str(&format!(
+        "  \"replay_parallel_phase_coverage\": {replay_parallel_phase_coverage:.4},\n"
+    ));
+    out.push_str(&format!(
+        "  \"replay_fam_refs_per_grant\": {replay_fam_refs_per_grant:.3},\n"
     ));
     out.push_str(&format!(
         "  \"throughput\": {{\"benchmark\": \"sssp\", \"total_refs\": {}, \
@@ -445,7 +574,9 @@ fn main() {
     );
     bench_scheduler_scaling(&mut records);
     bench_fastpath(&mut records);
+    bench_replay(&mut records);
     let (parallel_speedup_4t, parallel_phase_coverage) = bench_parallel_scaling(&mut records);
+    let (replay_coverage, replay_dwell) = bench_replay_burst(&mut records);
     let throughput = bench_throughput();
 
     match write_json(
@@ -454,6 +585,8 @@ fn main() {
         &throughput,
         parallel_speedup_4t,
         parallel_phase_coverage,
+        replay_coverage,
+        replay_dwell,
     ) {
         Ok(()) => println!("\nwrote {out_path} ({} entries)", records.len()),
         Err(e) => eprintln!("microbench: could not write {out_path}: {e}"),

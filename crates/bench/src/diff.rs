@@ -309,14 +309,38 @@ pub fn diff(base: &Json, new: &Json, cfg: &DiffConfig) -> DiffReport {
     });
 
     // Coverage is deterministic (the epoch plan is host and
-    // thread-count invariant), so this gate never skips and takes no
+    // thread-count invariant), so these gates never skip and take no
     // noise tolerance: a fresh value below baseline means the planner
-    // admits fewer references than it used to.
-    let base_cov = base.get("parallel_phase_coverage").and_then(Json::as_f64);
-    let new_cov = new.get("parallel_phase_coverage").and_then(Json::as_f64);
-    report.gates.push(match (base_cov, new_cov) {
+    // admits fewer references than it used to. The same rule gates the
+    // synthetic probe (`parallel_phase_coverage`, lockstep sssp) and
+    // the bursty replayed trace (`replay_parallel_phase_coverage`),
+    // which exercises the leader-dwell regime the synthetics cannot.
+    report.gates.push(coverage_gate(
+        "parallel-coverage",
+        "parallel_phase_coverage",
+        base,
+        new,
+    ));
+    report.gates.push(coverage_gate(
+        "replay-coverage",
+        "replay_parallel_phase_coverage",
+        base,
+        new,
+    ));
+
+    report
+}
+
+/// Builds the exact deterministic coverage gate for one top-level
+/// fraction field: current must be ≥ baseline, missing-from-current
+/// fails, missing-from-baseline is informational (so pre-regeneration
+/// baselines keep passing when a new field ships).
+fn coverage_gate(name: &'static str, field: &str, base: &Json, new: &Json) -> Gate {
+    let base_cov = base.get(field).and_then(Json::as_f64);
+    let new_cov = new.get(field).and_then(Json::as_f64);
+    match (base_cov, new_cov) {
         (Some(b), Some(n)) => Gate {
-            name: "parallel-coverage",
+            name,
             passed: n >= b - 1e-9,
             detail: format!(
                 "{:.2}% of refs retired in epoch shards vs baseline {:.2}%",
@@ -325,21 +349,19 @@ pub fn diff(base: &Json, new: &Json, cfg: &DiffConfig) -> DiffReport {
             ),
         },
         (Some(_), None) => Gate {
-            name: "parallel-coverage",
+            name,
             passed: false,
-            detail: "parallel_phase_coverage missing from current run".into(),
+            detail: format!("{field} missing from current run"),
         },
         (None, n) => Gate {
-            name: "parallel-coverage",
+            name,
             passed: true,
             detail: format!(
                 "baseline has no coverage entry, measured {:?}",
                 n.unwrap_or(f64::NAN)
             ),
         },
-    });
-
-    report
+    }
 }
 
 #[cfg(test)]
@@ -492,6 +514,32 @@ mod tests {
         // informational, so pre-regeneration baselines keep passing.
         let report = diff(&gone, &base, &DiffConfig::default());
         assert!(report.passed(), "{}", report.to_markdown());
+    }
+
+    #[test]
+    fn replay_coverage_gate_mirrors_the_parallel_one() {
+        let with_replay = |cov: f64| {
+            let mut doc = artifact(1360.0, 726_000.0);
+            if let Json::Obj(m) = &mut doc {
+                m.insert("replay_parallel_phase_coverage".into(), Json::Num(cov));
+            }
+            doc
+        };
+        let base = with_replay(0.21);
+        // Equal coverage passes; a drop fails even on a 1-vCPU host.
+        assert!(diff(&base, &with_replay(0.21), &DiffConfig::default()).passed());
+        let report = diff(&base, &with_replay(0.15), &DiffConfig::default());
+        assert!(!report.passed(), "{}", report.to_markdown());
+        let gate = report
+            .gates
+            .iter()
+            .find(|g| g.name == "replay-coverage")
+            .unwrap();
+        assert!(!gate.passed);
+        // Field vanishing from the current run fails; a baseline
+        // predating the field is informational.
+        assert!(!diff(&base, &artifact(1360.0, 726_000.0), &DiffConfig::default()).passed());
+        assert!(diff(&artifact(1360.0, 726_000.0), &base, &DiffConfig::default()).passed());
     }
 
     #[test]

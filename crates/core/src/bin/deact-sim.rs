@@ -15,8 +15,21 @@
 //!                   [plus any `run` flag]   # host-time phase profile
 //! deact-sim audit [<benchmark>] [plus any `run` flag]
 //!                                # metrics registry + conservation audit
+//! deact-sim record <benchmark> [--out t.famt] [plus any `run` flag]
+//!                                # capture the synthetic stream to disk
+//! deact-sim replay <t.famt> [--trace-out trace.json] [plus any `run` flag]
+//!                                # run a recorded/synthesized trace
 //! deact-sim list                                       # Table III roster
 //! ```
+//!
+//! `record` draws exactly the per-core reference streams a live run of
+//! the benchmark would execute (same seeds, same order) and writes
+//! them as a rank-tagged FAMT v2 trace; `replay` streams such a file —
+//! or any externally produced FAMT trace — back through the full
+//! system model, so `record` → `replay` reproduces the live run's
+//! report bit for bit. Replay honors every `run` flag (`--scheme`,
+//! `--sim-threads`, `--kill-node`, ...); `--trace-out` additionally
+//! captures a Perfetto trace of the replayed run.
 //!
 //! Two parallelism knobs compose, and both leave reports bit-identical
 //! at any setting:
@@ -66,7 +79,10 @@ fn usage() -> ExitCode {
          [plus any `run` flag]\n  \
          deact-sim profile [<benchmark>] [--out profile.folded] [--top N] \
          [plus any `run` flag]\n  \
-         deact-sim audit [<benchmark>] [plus any `run` flag]\n  deact-sim list\n\n\
+         deact-sim audit [<benchmark>] [plus any `run` flag]\n  \
+         deact-sim record <benchmark> [--out t.famt] [plus any `run` flag]\n  \
+         deact-sim replay <t.famt> [--trace-out trace.json] [plus any `run` flag]\n  \
+         deact-sim list\n\n\
          parallelism: --jobs runs schemes concurrently (across-run, default \
          DEACT_JOBS else all cores);\n  --sim-threads parallelizes the nodes \
          *inside* one run (intra-run, default DEACT_SIM_THREADS else 1 = \
@@ -198,6 +214,27 @@ fn extract_profile_opts(args: &[String]) -> Option<(Vec<String>, String, usize)>
         }
     }
     Some((rest, out, top))
+}
+
+/// Splits one `--<name> <value>` string option out of the argument
+/// list; returns the remaining flags and the value (or `default` when
+/// the flag is absent, `None` when its value is missing).
+fn extract_string_opt(
+    args: &[String],
+    name: &str,
+    default: Option<&str>,
+) -> Option<(Vec<String>, Option<String>)> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut value = default.map(String::from);
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == name {
+            value = Some(it.next()?.clone());
+        } else {
+            rest.push(flag.clone());
+        }
+    }
+    Some((rest, value))
 }
 
 /// `[<benchmark>] [flags]` with the positional optional: subcommands
@@ -547,6 +584,140 @@ fn main() -> ExitCode {
                 eprintln!("deact-sim: conservation audit FAILED");
                 ExitCode::FAILURE
             }
+        }
+        Some("record") => {
+            let Some(bench) = args.get(1) else {
+                return usage();
+            };
+            let Some((rest, out)) = extract_string_opt(&args[2..], "--out", None) else {
+                return usage();
+            };
+            let out = out.unwrap_or_else(|| format!("{bench}.famt"));
+            // Recording is engine-free (it only draws the streams), but
+            // accept — and discard — `--sim-threads` so any `run` flag
+            // set can be pasted onto `record` unchanged.
+            let Some((rest, _)) = extract_sim_threads(&rest) else {
+                return usage();
+            };
+            let Some(cfg) = apply_flags(SystemConfig::paper_default(), &rest) else {
+                return usage();
+            };
+            let Some(workload) = Workload::by_name(bench) else {
+                eprintln!("deact-sim: unknown benchmark `{bench}` (see `deact-sim list`)");
+                return ExitCode::FAILURE;
+            };
+            let mut streams = System::synthetic_streams(&cfg, &workload);
+            let file = match std::fs::File::create(&out) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("deact-sim: cannot create {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let records = match fam_workloads::trace::record_streams(
+                std::io::BufWriter::new(file),
+                &mut streams,
+                cfg.refs_per_core,
+            ) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("deact-sim: cannot write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "wrote {out}: {records} records across {} ranks ({} nodes x {} cores, \
+                 {} refs/core) — replay with `deact-sim replay {out}`",
+                cfg.nodes * cfg.cores_per_node,
+                cfg.nodes,
+                cfg.cores_per_node,
+                cfg.refs_per_core
+            );
+            ExitCode::SUCCESS
+        }
+        Some("replay") => {
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                return usage();
+            };
+            let Some((rest, trace_out)) = extract_string_opt(&args[2..], "--trace-out", None)
+            else {
+                return usage();
+            };
+            let Some((rest, sim_threads)) = extract_sim_threads(&rest) else {
+                return usage();
+            };
+            let Some(cfg) = apply_flags(SystemConfig::paper_default(), &rest) else {
+                return usage();
+            };
+            let cfg = match &trace_out {
+                Some(_) => cfg.with_trace(TraceConfig::full()),
+                None => cfg,
+            };
+            let streams =
+                match fam_workloads::trace::replay_streams(path, cfg.nodes, cfg.cores_per_node) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("deact-sim: cannot replay {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            let header = match std::fs::File::open(path)
+                .and_then(fam_workloads::TraceReader::new)
+                .map(|rd| rd.header())
+            {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("deact-sim: cannot replay {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Label the report with the file stem so a replay of
+            // `sssp.famt` prints exactly like `run sssp`.
+            let label = std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.clone());
+            let frequency_mhz = cfg.frequency_mhz;
+            let mut system = System::with_streams(cfg, &label, streams);
+            let r = match system.try_run_parallel(sim_threads) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("deact-sim: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            print_report(&r);
+            let metrics = system.metrics();
+            let wraps: u64 = (0..r.nodes)
+                .map(|n| {
+                    metrics
+                        .counter_value(&format!("node{n}/replay_wraps"))
+                        .unwrap_or(0)
+                })
+                .sum();
+            println!(
+                "replay           {path}: FAMT v{}, {} records, {} ranks, {} wrap-arounds",
+                header.version, header.count, header.ranks, wraps
+            );
+            if let Some(out) = trace_out {
+                let file = match std::fs::File::create(&out) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("deact-sim: cannot create {out}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Err(e) = write_chrome_trace(
+                    std::io::BufWriter::new(file),
+                    system.tracer(),
+                    frequency_mhz,
+                ) {
+                    eprintln!("deact-sim: cannot write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {out} (load it at https://ui.perfetto.dev or chrome://tracing)");
+            }
+            ExitCode::SUCCESS
         }
         Some("compare") => {
             let Some(bench) = args.get(1) else {

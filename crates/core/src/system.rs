@@ -123,7 +123,18 @@ impl System {
     /// Panics on degenerate configurations (see
     /// [`SystemConfig::validate`]).
     pub fn new(config: SystemConfig, workload: &Workload) -> System {
-        let streams = (0..config.nodes)
+        let streams = System::synthetic_streams(&config, workload);
+        System::with_streams(config, workload.name, streams)
+    }
+
+    /// The per-core synthetic reference streams [`System::new`] runs:
+    /// one generator per core, seeded from the config seed and the
+    /// core's global rank. Public so `deact-sim record` (and the
+    /// replay tests) can draw *exactly* the stream a live run would
+    /// execute — record-then-replay is bit-identical because both
+    /// paths start from this function.
+    pub fn synthetic_streams(config: &SystemConfig, workload: &Workload) -> Vec<Vec<RefStream>> {
+        (0..config.nodes)
             .map(|n| {
                 (0..config.cores_per_node)
                     .map(|c| {
@@ -139,8 +150,7 @@ impl System {
                     })
                     .collect()
             })
-            .collect();
-        System::with_streams(config, workload.name, streams)
+            .collect()
     }
 
     /// Builds a system whose cores replay recorded traces instead of
@@ -2169,14 +2179,18 @@ impl System {
             let mut tlb = fam_sim::stats::Ratio::new();
             let mut staged = 0u64;
             let mut refs_done = 0u64;
+            let mut replay_wraps = 0u64;
             for core in &node.cores {
                 tlb.merge(core.tlb.stats());
                 staged = staged.saturating_add(core.staged);
                 refs_done = refs_done.saturating_add(core.refs_done);
+                replay_wraps = replay_wraps.saturating_add(core.gen.wraps());
             }
             *reg.ratio(&format!("node{n}/tlb")) = tlb;
             reg.counter(&format!("node{n}/staged")).add(staged);
             reg.counter(&format!("node{n}/refs_done")).add(refs_done);
+            reg.counter(&format!("node{n}/replay_wraps"))
+                .add(replay_wraps);
             reg.counter(&format!("node{n}/faults")).add(node.faults);
             reg.counter(&format!("node{n}/dram_reads"))
                 .add(node.dram.reads());

@@ -97,6 +97,8 @@ pub enum PhaseId {
     /// Sharded engine: FAM references retired inside a shard against
     /// granted fabric-port/NVM-module resources.
     ShardFam,
+    /// Streamed trace-replay chunk refill + decode (`TraceReader`).
+    ReplayDecode,
 }
 
 impl PhaseId {
@@ -119,10 +121,11 @@ impl PhaseId {
         PhaseId::Shootdown,
         PhaseId::ShardScan,
         PhaseId::ShardFam,
+        PhaseId::ReplayDecode,
     ];
 
     /// Number of phases.
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     /// Dense index in `[0, COUNT)`.
     pub fn index(self) -> usize {
@@ -149,6 +152,7 @@ impl PhaseId {
             PhaseId::Shootdown => "shootdown",
             PhaseId::ShardScan => "shard-scan",
             PhaseId::ShardFam => "shard-fam",
+            PhaseId::ReplayDecode => "replay-decode",
         }
     }
 }

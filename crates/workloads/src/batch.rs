@@ -99,6 +99,11 @@ impl RefBatch {
                     self.push(r.next_ref());
                 }
             }
+            RefStream::Streamed(r) => {
+                for _ in 0..n {
+                    self.push(r.next_ref());
+                }
+            }
         }
     }
 

@@ -32,9 +32,9 @@ mod profiles;
 pub mod trace;
 
 pub use batch::RefBatch;
-pub use generator::{MemRef, TraceGenerator};
-pub use profiles::{table3, Suite, Workload};
-pub use trace::{RefStream, TraceReplay};
+pub use generator::{BurstSynth, MemRef, TraceGenerator};
+pub use profiles::{burst_phases, table3, Suite, Workload};
+pub use trace::{RefStream, StreamedReplay, TraceReader, TraceReplay, TraceWriter};
 
 /// Base virtual address of the synthetic heap every generator walks.
 pub const VA_BASE: u64 = 0x1000_0000;

@@ -19,8 +19,9 @@
 //! 4. Arming a persistent fault that never strikes is free: the report
 //!    is bit-identical to one without it.
 
-use deact::{run_benchmark, try_run_benchmark, Scheme, SimError, SystemConfig};
+use deact::{run_benchmark, try_run_benchmark, Scheme, SimError, System, SystemConfig};
 use fam_sim::{FaultConfig, PersistentFault};
+use fam_workloads::Workload;
 
 /// Two nodes over two FAM modules: killing module 1 leaves a survivor
 /// to evacuate to.
@@ -125,6 +126,45 @@ fn halt_on_data_loss_is_a_typed_error_not_a_panic() {
     let err = try_run_benchmark("sssp", cfg).unwrap_err();
     assert!(matches!(err, SimError::DataLoss { .. }), "{err}");
     assert!(err.to_string().contains("permanent failure"), "{err}");
+}
+
+#[test]
+fn replayed_trace_survives_node_death_like_the_synthetic_run() {
+    // Replay composes with chaos: recording captures the address
+    // stream only (faults strike at FAM-op ordinals, orthogonal to
+    // where the refs come from), so a replayed trace under
+    // `--kill-node` must reproduce the synthetic chaos run bit for
+    // bit — DegradationReport included — on the sequential and
+    // sharded engines alike.
+    let cfg = chaos(Scheme::DeactN).with_fault_injection(FaultConfig::persistent_only(
+        11,
+        PersistentFault::NodeDead { module: 1 },
+        STRIKE_AT,
+    ));
+    let w = Workload::by_name("sssp").unwrap();
+    let path = std::env::temp_dir().join(format!("famt-degraded-{}.famt", std::process::id()));
+    let mut streams = System::synthetic_streams(&cfg, &w);
+    fam_workloads::trace::record_streams(
+        std::io::BufWriter::new(std::fs::File::create(&path).unwrap()),
+        &mut streams,
+        cfg.refs_per_core,
+    )
+    .unwrap();
+    let synthetic = run_benchmark("sssp", cfg);
+    for threads in [1usize, 2] {
+        let streams =
+            fam_workloads::trace::replay_streams(&path, cfg.nodes, cfg.cores_per_node).unwrap();
+        let replayed = System::with_streams(cfg, "sssp", streams)
+            .try_run_parallel(threads)
+            .expect("replayed chaos run completes degraded");
+        assert_eq!(
+            replayed, synthetic,
+            "{threads}t: replayed chaos run diverged from synthetic"
+        );
+    }
+    let d = &synthetic.degradation;
+    assert!(!d.is_zero() && d.pages_quarantined > 0 && d.pages_lost > 0);
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
